@@ -1,0 +1,86 @@
+"""Table 5 — ablation study on each OmniMatch component.
+
+Run in the paper's data-scarce setting (20 % of training users) on three
+Amazon scenarios. Variants:
+
+* w/o SCL — supervised contrastive module disabled;
+* w/o DA — domain adversarial module disabled;
+* w/o Aux Reviews — no auxiliary documents: cold users fall back to their
+  source document (the §4.1 failure mode);
+* OmniMatch — the full model;
+* OmniMatch-ReviewText — full review bodies instead of summaries;
+* OmniMatch-BERT — transformer encoder instead of the CNN.
+
+Paper shape: the full model is best; removing auxiliary reviews hurts the
+most; ReviewText and BERT variants underperform the summary + CNN default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import generate_scenario
+from repro.eval import run_experiment
+
+from conftest import SHAPE_ASSERTS, WORLDS, bench_config, run_once
+
+SCENARIOS5 = [("books", "movies"), ("books", "music"), ("movies", "music")]
+
+VARIANTS = {
+    "w/o SCL": dict(use_scl=False),
+    "w/o DA": dict(use_domain_adversarial=False),
+    "w/o Aux Reviews": dict(use_auxiliary_reviews=False),
+    "OmniMatch": {},
+    "OmniMatch-ReviewText": dict(field="text"),
+    "OmniMatch-BERT": dict(extractor="transformer", embed_dim=48,
+                           transformer_layers=2, transformer_heads=4),
+}
+
+
+def _run_table(trials: int):
+    table: dict[tuple[str, str], tuple[float, float]] = {}
+    for source, target in SCENARIOS5:
+        dataset = generate_scenario("amazon", source, target, **WORLDS["amazon"])
+        for variant, flags in VARIANTS.items():
+            result = run_experiment(
+                "OmniMatch", "amazon", source, target,
+                trials=trials, train_fraction=0.2,
+                config=bench_config(**flags), dataset=dataset,
+            )
+            table[(variant, f"{source}->{target}")] = (result.rmse, result.mae)
+    return table
+
+
+def test_table5_ablation(benchmark, trials):
+    table = run_once(benchmark, lambda: _run_table(trials))
+
+    scenarios = [f"{s}->{t}" for s, t in SCENARIOS5]
+    print("\n=== Table 5: ablation (20% training users), RMSE / MAE ===")
+    header = "variant".ljust(22) + "".join(s.rjust(18) for s in scenarios)
+    print(header)
+    for variant in VARIANTS:
+        row = variant.ljust(22)
+        for scenario in scenarios:
+            r, m = table[(variant, scenario)]
+            row += f"{r:>9.3f}/{m:<8.3f}"
+        print(row)
+
+    def mean_rmse(variant):
+        return np.mean([table[(variant, s)][0] for s in scenarios])
+
+    full = mean_rmse("OmniMatch")
+    print(f"\nmean RMSE: full={full:.3f} "
+          + " ".join(f"{v}={mean_rmse(v):.3f}" for v in VARIANTS if v != "OmniMatch"))
+
+    # Shape: the full model is best on average (small tolerance for split
+    # noise), and every module ablation costs accuracy. Divergence note: in
+    # the paper, removing auxiliary reviews is the single most damaging
+    # ablation; here the 'dual' inference path partially cushions it with
+    # the user's source document, so the worst ablation varies by scenario
+    # (recorded in EXPERIMENTS.md).
+    module_ablations = ["w/o SCL", "w/o DA", "w/o Aux Reviews"]
+    if SHAPE_ASSERTS:
+        for variant in VARIANTS:
+            if variant != "OmniMatch":
+                assert full <= mean_rmse(variant) + 0.03, variant
+        assert full < np.mean([mean_rmse(v) for v in module_ablations])

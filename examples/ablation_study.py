@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Ablation study on OmniMatch's modules (a compact Table 5).
+
+Trains the full model and three ablated variants — without the Supervised
+Contrastive module, without Domain Adversarial training, and without the
+Auxiliary Reviews Generation Module — in the paper's data-scarce setting
+(20 % of the training users) and reports cold-start RMSE/MAE for each.
+"""
+
+import numpy as np
+
+from repro.core import ColdStartPredictor, OmniMatchConfig, OmniMatchTrainer
+from repro.data import cold_start_split, generate_scenario
+from repro.eval import mae, rmse
+
+VARIANTS = {
+    "OmniMatch (full)": {},
+    "w/o SCL": dict(use_scl=False),
+    "w/o DA": dict(use_domain_adversarial=False),
+    "w/o Aux Reviews": dict(use_auxiliary_reviews=False),
+}
+
+
+def main() -> None:
+    dataset = generate_scenario(
+        "amazon", "books", "movies",
+        num_users=300, num_items_per_domain=130, reviews_per_user_mean=7.0,
+    )
+    # paper §5.7: ablations run with 20 % of the training users
+    split = cold_start_split(dataset, seed=0, train_fraction=0.2)
+    test = split.eval_interactions(dataset, "test")
+    actual = np.array([r.rating for r in test])
+    print(f"{dataset.scenario}, {len(split.train_users)} training users, "
+          f"{len(test)} held-out cold interactions\n")
+
+    print(f"{'variant':<20s} {'RMSE':>8s} {'MAE':>8s}")
+    for name, flags in VARIANTS.items():
+        config = OmniMatchConfig(epochs=15, patience=4, **flags)
+        result = OmniMatchTrainer(dataset, split, config).fit()
+        predicted = ColdStartPredictor(result).predict_interactions(test)
+        print(f"{name:<20s} {rmse(actual, predicted):>8.3f} {mae(actual, predicted):>8.3f}")
+
+
+if __name__ == "__main__":
+    main()

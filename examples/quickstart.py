@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: train OmniMatch on one cross-domain scenario and evaluate
+cold-start users.
+
+Runs in about a minute on a laptop CPU. Walks the full pipeline:
+
+1. generate an Amazon-style synthetic review corpus (books -> movies);
+2. apply the paper's cold-start protocol (80 % train / 20 % cold users);
+3. train OmniMatch (CNN extractors + SCL + domain adversarial training);
+4. predict the hidden target-domain ratings of the cold-start test users;
+5. compare against the global-mean and item-mean reference baselines.
+"""
+
+import numpy as np
+
+from repro.core import ColdStartPredictor, OmniMatchConfig, OmniMatchTrainer
+from repro.data import cold_start_split, generate_scenario
+from repro.eval import make_predictor, mae, rmse
+
+
+def main() -> None:
+    print("1) generating the corpus ...")
+    dataset = generate_scenario(
+        "amazon", "books", "movies",
+        num_users=260, num_items_per_domain=110, reviews_per_user_mean=7.0,
+    )
+    card = dataset.summary()
+    print(f"   {card['scenario']}: {card['overlap_users']} overlapping users, "
+          f"{card['source_reviews']} source / {card['target_reviews']} target reviews")
+
+    print("2) cold-start split (paper §5.2) ...")
+    split = cold_start_split(dataset, seed=0)
+    print(f"   train={len(split.train_users)} valid={len(split.valid_users)} "
+          f"test={len(split.test_users)} users")
+
+    print("3) training OmniMatch ...")
+    config = OmniMatchConfig(epochs=15, patience=4)
+    result = OmniMatchTrainer(dataset, split, config).fit()
+    for stats in result.history:
+        marker = f" valid_rmse={stats.valid_rmse:.3f}" if stats.valid_rmse else ""
+        print(f"   epoch {stats.epoch:>2d}: rating={stats.rating:.3f} "
+              f"scl={stats.scl:.3f} domain={stats.domain:.3f}{marker}")
+
+    print("4) predicting cold-start test users ...")
+    predictor = ColdStartPredictor(result)
+    test = split.eval_interactions(dataset, "test")
+    predicted = predictor.predict_interactions(test)
+    actual = np.array([r.rating for r in test])
+
+    print("5) results (cold-start test set):")
+    print(f"   OmniMatch    RMSE={rmse(actual, predicted):.3f} MAE={mae(actual, predicted):.3f}")
+    for name in ("item-mean", "global-mean"):
+        fitted = make_predictor(name, dataset, split)
+        preds = fitted.predict_interactions(test)
+        print(f"   {name:<12s} RMSE={rmse(actual, preds):.3f} MAE={mae(actual, preds):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Real-data workflow: run OmniMatch from JSON-lines review dumps.
+
+The paper evaluates on the public Amazon Review dump (JSON-lines with
+``reviewerID`` / ``asin`` / ``overall`` / ``summary`` / ``reviewText``).
+This example demonstrates the exact workflow for the real files without
+needing them: it exports a synthetic scenario to that format, then runs the
+ingest -> stats -> split -> train -> evaluate pipeline from the files alone.
+Point ``SOURCE_PATH`` / ``TARGET_PATH`` at real dump files to reproduce the
+paper's setting directly.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ColdStartPredictor, OmniMatchConfig, OmniMatchTrainer
+from repro.data import (
+    cold_start_split,
+    format_stats,
+    generate_scenario,
+    load_cross_domain_jsonl,
+    save_domain_jsonl,
+)
+from repro.eval import mae, rmse
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="omnimatch-"))
+    source_path = workdir / "books.jsonl"
+    target_path = workdir / "movies.jsonl"
+
+    print(f"1) exporting a synthetic scenario to {workdir} ...")
+    synthetic = generate_scenario(
+        "amazon", "books", "movies",
+        num_users=240, num_items_per_domain=100, reviews_per_user_mean=6.0,
+    )
+    save_domain_jsonl(synthetic.source, source_path)
+    save_domain_jsonl(synthetic.target, target_path)
+
+    print("2) ingesting from JSON-lines (the real-data entry point) ...")
+    dataset = load_cross_domain_jsonl(
+        source_path, target_path, "books", "movies"
+    )
+    print(format_stats(dataset))
+
+    print("\n3) protocol + training ...")
+    split = cold_start_split(dataset, seed=0)
+    config = OmniMatchConfig(epochs=12, patience=3)
+    result = OmniMatchTrainer(dataset, split, config).fit()
+
+    print("4) cold-start evaluation ...")
+    predictor = ColdStartPredictor(result)
+    test = split.eval_interactions(dataset, "test")
+    predicted = predictor.predict_interactions(test)
+    actual = np.array([r.rating for r in test])
+    print(f"   RMSE={rmse(actual, predicted):.3f} MAE={mae(actual, predicted):.3f} "
+          f"over {len(test)} hidden interactions")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""OmniMatch reproduction: review-based cross-domain cold-start recommendation.
+
+From-scratch reproduction of *OmniMatch: Overcoming the Cold-Start Problem
+in Cross-Domain Recommendations using Auxiliary Reviews* (EDBT 2025),
+including the numpy autograd substrate (``repro.nn``), text processing
+(``repro.text``), synthetic Amazon/Douban-style corpora (``repro.data``),
+the OmniMatch model (``repro.core``), all six paper baselines
+(``repro.baselines``), and the evaluation harness (``repro.eval``).
+
+Quickstart::
+
+    from repro.data import generate_scenario, cold_start_split
+    from repro.core import OmniMatchTrainer, OmniMatchConfig, ColdStartPredictor
+
+    dataset = generate_scenario("amazon", "books", "movies")
+    split = cold_start_split(dataset, seed=0)
+    result = OmniMatchTrainer(dataset, split, OmniMatchConfig()).fit()
+    predictor = ColdStartPredictor(result)
+"""
+
+__version__ = "1.0.0"
+
+from . import baselines, core, data, eval, nn, text
+
+__all__ = ["nn", "text", "data", "core", "baselines", "eval", "__version__"]

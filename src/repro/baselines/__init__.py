@@ -1,0 +1,43 @@
+"""``repro.baselines`` — the paper's six comparison methods plus references.
+
+Single-domain: NGCF, LightGCN. Cross-domain: CMF, EMCDR, PTUPCDR,
+HeroGraph. References (not in the paper's tables): GlobalMean, ItemMean.
+"""
+
+from .base import (
+    BaselineRecommender,
+    clip_rating,
+    source_triples,
+    visible_target_triples,
+)
+from .cmf import CMF
+from .deepconn import DeepCoNN
+from .emcdr import EMCDR
+from .graph import GraphRecommenderBase, normalized_adjacency, sparse_propagate
+from .herograph import HeroGraph
+from .lightgcn import LightGCN
+from .mf import BiasedMF, MFConfig
+from .ngcf import NGCF
+from .popularity import GlobalMean, ItemMean
+from .ptupcdr import PTUPCDR
+
+__all__ = [
+    "BaselineRecommender",
+    "visible_target_triples",
+    "source_triples",
+    "clip_rating",
+    "BiasedMF",
+    "MFConfig",
+    "CMF",
+    "DeepCoNN",
+    "EMCDR",
+    "PTUPCDR",
+    "NGCF",
+    "LightGCN",
+    "HeroGraph",
+    "GlobalMean",
+    "ItemMean",
+    "GraphRecommenderBase",
+    "normalized_adjacency",
+    "sparse_propagate",
+]

@@ -1,0 +1,64 @@
+"""Shared baseline interface and visibility helpers.
+
+Every baseline implements :class:`BaselineRecommender`: ``fit`` on a
+(dataset, split) pair under the same visibility rules as OmniMatch — all
+source-domain reviews are visible, target-domain reviews of cold-start users
+are hidden — then ``predict_interactions`` on held-out reviews.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..data.records import CrossDomainDataset, Review
+from ..data.split import ColdStartSplit
+
+__all__ = [
+    "BaselineRecommender",
+    "visible_target_triples",
+    "source_triples",
+    "clip_rating",
+]
+
+
+def clip_rating(value: float) -> float:
+    """Clamp a raw prediction to the 1..5 rating scale."""
+    return float(np.clip(value, 1.0, 5.0))
+
+
+def visible_target_triples(
+    dataset: CrossDomainDataset, split: ColdStartSplit
+) -> list[tuple[str, str, float]]:
+    """Target-domain (user, item, rating) triples visible under the protocol:
+    training overlap users plus target-only (non-overlapping) users."""
+    cold = set(split.cold_users)
+    return [
+        (r.user_id, r.item_id, r.rating)
+        for r in dataset.target.reviews
+        if r.user_id not in cold
+    ]
+
+
+def source_triples(dataset: CrossDomainDataset) -> list[tuple[str, str, float]]:
+    """All source-domain triples (cold users' source history is public)."""
+    return [(r.user_id, r.item_id, r.rating) for r in dataset.source.reviews]
+
+
+class BaselineRecommender(abc.ABC):
+    """Interface every baseline implements."""
+
+    name: str = "baseline"
+
+    @abc.abstractmethod
+    def fit(self, dataset: CrossDomainDataset, split: ColdStartSplit) -> "BaselineRecommender":
+        """Train under the cold-start visibility rules."""
+
+    @abc.abstractmethod
+    def predict(self, user_id: str, item_id: str) -> float:
+        """Predict the rating of one (user, item) pair in the target domain."""
+
+    def predict_interactions(self, interactions: list[Review]) -> np.ndarray:
+        """Vectorized convenience over held-out reviews."""
+        return np.array([self.predict(r.user_id, r.item_id) for r in interactions])

@@ -1,0 +1,45 @@
+"""LightGCN (He et al. 2020) — single-domain graph CF baseline.
+
+Propagation is pure neighborhood aggregation — no feature transforms, no
+nonlinearities — and the final embedding is the layer average:
+
+    E^(l+1) = A_hat E^(l),     E = mean(E^(0) ... E^(K))
+
+Built only on the *target* domain (it is one of the paper's two
+single-domain baselines), so cold-start users are isolated nodes whose
+embeddings never move: LightGCN degenerates to bias terms for them, which
+is exactly why it trails the cross-domain methods in Tables 2-3.
+"""
+
+from __future__ import annotations
+
+from .. import nn
+from ..data.records import CrossDomainDataset
+from ..data.split import ColdStartSplit
+from .base import visible_target_triples
+from .graph import GraphRecommenderBase, sparse_propagate
+
+__all__ = ["LightGCN"]
+
+
+class LightGCN(GraphRecommenderBase):
+    name = "LIGHTGCN"
+
+    def _graph_elements(self, dataset: CrossDomainDataset, split: ColdStartSplit):
+        triples = visible_target_triples(dataset, split)
+        users = sorted(dataset.source.users | dataset.target.users)
+        items = sorted(dataset.target.items)
+        nodes = [f"u:{u}" for u in users] + [f"i:{i}" for i in items]
+        edges = [(f"u:{u}", f"i:{i}") for u, i, _ in triples]
+        return nodes, edges, triples
+
+    def propagate(self, embeddings: nn.Tensor) -> nn.Tensor:
+        layers = [embeddings]
+        current = embeddings
+        for _ in range(self.num_layers):
+            current = sparse_propagate(self._adjacency, current)
+            layers.append(current)
+        total = layers[0]
+        for layer in layers[1:]:
+            total = total + layer
+        return total / float(len(layers))

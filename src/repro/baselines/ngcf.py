@@ -1,0 +1,66 @@
+"""NGCF — Neural Graph Collaborative Filtering (Wang et al. 2019).
+
+Single-domain baseline. Each propagation layer applies feature transforms
+and a bilinear neighbor interaction (the parts LightGCN later removed):
+
+    E^(l+1) = LeakyReLU( A_hat E^(l) W1 + (A_hat E^(l)) * E^(l) W2 )
+
+and the final representation concatenates all layers (here: averages, to
+keep the prediction dot-product dimension fixed). As with LightGCN, it sees
+only the target domain, so cold users reduce to bias terms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..data.records import CrossDomainDataset
+from ..data.split import ColdStartSplit
+from .base import visible_target_triples
+from .graph import GraphRecommenderBase, sparse_propagate
+
+__all__ = ["NGCF"]
+
+
+def _leaky_relu(x: nn.Tensor, slope: float = 0.2) -> nn.Tensor:
+    return x.relu() - slope * (-x).relu()
+
+
+class NGCF(GraphRecommenderBase):
+    name = "NGCF"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        rng = np.random.default_rng(self.seed + 1)
+        self._w1: list[nn.Linear] = []
+        self._w2: list[nn.Linear] = []
+        for _ in range(self.num_layers):
+            self._w1.append(nn.Linear(self.embed_dim, self.embed_dim, rng))
+            self._w2.append(nn.Linear(self.embed_dim, self.embed_dim, rng))
+
+    def _parameters(self) -> list[nn.Parameter]:
+        params = super()._parameters()
+        for linear in self._w1 + self._w2:
+            params.extend(linear.parameters())
+        return params
+
+    def _graph_elements(self, dataset: CrossDomainDataset, split: ColdStartSplit):
+        triples = visible_target_triples(dataset, split)
+        users = sorted(dataset.source.users | dataset.target.users)
+        items = sorted(dataset.target.items)
+        nodes = [f"u:{u}" for u in users] + [f"i:{i}" for i in items]
+        edges = [(f"u:{u}", f"i:{i}") for u, i, _ in triples]
+        return nodes, edges, triples
+
+    def propagate(self, embeddings: nn.Tensor) -> nn.Tensor:
+        layers = [embeddings]
+        current = embeddings
+        for w1, w2 in zip(self._w1, self._w2):
+            aggregated = sparse_propagate(self._adjacency, current)
+            current = _leaky_relu(w1(aggregated) + w2(aggregated * current))
+            layers.append(current)
+        total = layers[0]
+        for layer in layers[1:]:
+            total = total + layer
+        return total / float(len(layers))

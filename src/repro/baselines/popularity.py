@@ -1,0 +1,66 @@
+"""Trivial reference baselines: global mean and item mean.
+
+Not in the paper's tables, but indispensable sanity anchors: any method
+below the item-mean line is not using personalization at all.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..data.records import CrossDomainDataset
+from ..data.split import ColdStartSplit
+from .base import BaselineRecommender, clip_rating, visible_target_triples
+
+__all__ = ["GlobalMean", "ItemMean"]
+
+
+class GlobalMean(BaselineRecommender):
+    """Predict the visible target-domain mean rating for everything."""
+
+    name = "global-mean"
+
+    def __init__(self) -> None:
+        self._mean = 3.0
+
+    def fit(self, dataset: CrossDomainDataset, split: ColdStartSplit) -> "GlobalMean":
+        triples = visible_target_triples(dataset, split)
+        if triples:
+            self._mean = float(np.mean([t[2] for t in triples]))
+        return self
+
+    def predict(self, user_id: str, item_id: str) -> float:
+        return clip_rating(self._mean)
+
+
+class ItemMean(BaselineRecommender):
+    """Predict each item's visible mean rating (damped toward the global mean)."""
+
+    name = "item-mean"
+
+    def __init__(self, damping: float = 3.0) -> None:
+        self.damping = damping
+        self._global = 3.0
+        self._item_mean: dict[str, float] = {}
+
+    def fit(self, dataset: CrossDomainDataset, split: ColdStartSplit) -> "ItemMean":
+        triples = visible_target_triples(dataset, split)
+        if not triples:
+            return self
+        self._global = float(np.mean([t[2] for t in triples]))
+        sums: dict[str, float] = defaultdict(float)
+        counts: dict[str, int] = defaultdict(int)
+        for _, item, rating in triples:
+            sums[item] += rating
+            counts[item] += 1
+        self._item_mean = {
+            item: (sums[item] + self.damping * self._global)
+            / (counts[item] + self.damping)
+            for item in sums
+        }
+        return self
+
+    def predict(self, user_id: str, item_id: str) -> float:
+        return clip_rating(self._item_mean.get(item_id, self._global))

@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print the library version and the registered methods/datasets.
+``generate``
+    Generate a scenario and print its size card.
+``compare``
+    Fit every paper method on one scenario and print the comparison table.
+``train``
+    Train OmniMatch on one scenario, report cold-start RMSE/MAE, and
+    optionally save a checkpoint.
+``case-study``
+    Print the §5.10-style auxiliary-review generation trace for one
+    cold-start user.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from . import __version__
+from .core import (
+    AuxiliaryReviewGenerator,
+    ColdStartPredictor,
+    OmniMatchConfig,
+    OmniMatchTrainer,
+    save_checkpoint,
+)
+from .data import DATASET_PROFILES, DOMAINS, cold_start_split, generate_scenario
+from .eval import METHODS, PAPER_METHODS, format_comparison, mae, rmse, run_scenario_methods
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OmniMatch (EDBT 2025) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library and registry information")
+
+    def add_scenario_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", default="amazon", choices=sorted(DATASET_PROFILES))
+        p.add_argument("--source", default="books", choices=sorted(DOMAINS))
+        p.add_argument("--target", default="movies", choices=sorted(DOMAINS))
+        p.add_argument("--seed", type=int, default=0)
+
+    generate = sub.add_parser("generate", help="generate a scenario, print its card")
+    add_scenario_args(generate)
+
+    compare = sub.add_parser("compare", help="compare all paper methods on one scenario")
+    add_scenario_args(compare)
+    compare.add_argument("--trials", type=int, default=1)
+
+    train = sub.add_parser("train", help="train OmniMatch and score cold-start users")
+    add_scenario_args(train)
+    train.add_argument("--epochs", type=int, default=25)
+    train.add_argument("--checkpoint", default=None, help="directory to save the model")
+
+    case = sub.add_parser("case-study", help="auxiliary-review trace for one cold user")
+    add_scenario_args(case)
+    return parser
+
+
+def _cmd_info() -> int:
+    print(f"repro {__version__} — OmniMatch (EDBT 2025) reproduction")
+    print(f"datasets: {', '.join(sorted(DATASET_PROFILES))}")
+    print(f"domains:  {', '.join(sorted(DOMAINS))}")
+    print(f"methods:  {', '.join(sorted(METHODS))}")
+    print(f"paper table order: {', '.join(PAPER_METHODS)}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = generate_scenario(args.dataset, args.source, args.target)
+    for key, value in dataset.summary().items():
+        print(f"{key:>16s}: {value}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    results = run_scenario_methods(
+        list(PAPER_METHODS), args.dataset, args.source, args.target,
+        trials=args.trials, seed=args.seed,
+    )
+    print(format_comparison(results))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = generate_scenario(args.dataset, args.source, args.target)
+    split = cold_start_split(dataset, seed=args.seed)
+    config = OmniMatchConfig(epochs=args.epochs, seed=args.seed)
+    result = OmniMatchTrainer(dataset, split, config).fit()
+    predictor = ColdStartPredictor(result)
+    test = split.eval_interactions(dataset, "test")
+    predicted = predictor.predict_interactions(test)
+    actual = np.array([r.rating for r in test])
+    print(f"trained {len(result.history)} epochs "
+          f"({result.train_seconds:.1f}s); cold-start test: "
+          f"RMSE={rmse(actual, predicted):.3f} MAE={mae(actual, predicted):.3f}")
+    if args.checkpoint:
+        save_checkpoint(result, args.checkpoint)
+        print(f"checkpoint saved to {args.checkpoint}")
+    return 0
+
+
+def _cmd_case_study(args: argparse.Namespace) -> int:
+    dataset = generate_scenario(args.dataset, args.source, args.target)
+    split = cold_start_split(dataset, seed=args.seed)
+    generator = AuxiliaryReviewGenerator(dataset, allowed_users=split.train_users,
+                                         seed=args.seed)
+    user = max(split.test_users,
+               key=lambda u: len(dataset.source.reviews_of_user(u)))
+    print(f"cold-start user {user} ({dataset.scenario})")
+    for index, sel in enumerate(generator.explain(user), start=1):
+        status = (
+            f"borrowed \"{sel.auxiliary_review}\" from {sel.like_minded_user}"
+            if sel.succeeded
+            else "no like-minded user"
+        )
+        print(f"({index}) {sel.source_item} rated {sel.source_rating:.0f} "
+              f"(\"{sel.source_review}\") -> {status}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "case-study":
+        return _cmd_case_study(args)
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,31 @@
+"""``repro.core`` — the OmniMatch model, its modules, trainer, and predictor."""
+
+from .adversarial import DomainAdversary, mmd_rbf
+from .checkpoint import load_checkpoint, save_checkpoint
+from .auxiliary import AuxiliaryReviewGenerator, AuxiliarySelection
+from .config import OmniMatchConfig
+from .contrastive import ContrastiveModule
+from .extractors import DocumentEncoder, ItemFeatureExtractor, UserFeatureExtractor
+from .model import RATING_VALUES, OmniMatchModel
+from .predictor import ColdStartPredictor
+from .trainer import EpochStats, OmniMatchTrainer, TrainResult
+
+__all__ = [
+    "OmniMatchConfig",
+    "AuxiliaryReviewGenerator",
+    "AuxiliarySelection",
+    "DocumentEncoder",
+    "UserFeatureExtractor",
+    "ItemFeatureExtractor",
+    "ContrastiveModule",
+    "DomainAdversary",
+    "mmd_rbf",
+    "OmniMatchModel",
+    "RATING_VALUES",
+    "OmniMatchTrainer",
+    "TrainResult",
+    "EpochStats",
+    "ColdStartPredictor",
+    "save_checkpoint",
+    "load_checkpoint",
+]

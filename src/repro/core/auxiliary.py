@@ -1,0 +1,149 @@
+"""Auxiliary Reviews Generation Module (paper §4.1, Algorithm 1).
+
+For every cold-start user ``u``:
+
+1. walk u's purchase records in the *source* domain;
+2. for each record (item, rating), find the like-minded users — overlapping
+   users who gave the *same item* the *same rating* (O(1) via the
+   ``like_minded`` dictionary built in :class:`repro.data.DomainData`);
+3. keep only like-minded users whose target-domain history is visible;
+4. pick one like-minded user at random, then one of their target-domain
+   reviews at random, and append it to u's auxiliary document.
+
+The resulting document is a sketch of the cold user's preferences *as they
+would appear in the target domain*, and is fed to the Target Feature
+Extractor in place of the (non-existent) real target reviews.
+
+:meth:`AuxiliaryReviewGenerator.explain` returns the full selection trace,
+reproducing the §5.10 case-study output.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..data.records import CrossDomainDataset, Review
+
+__all__ = ["AuxiliarySelection", "AuxiliaryReviewGenerator"]
+
+
+@dataclass(frozen=True)
+class AuxiliarySelection:
+    """One step of Algorithm 1's inner loop — a case-study trace entry."""
+
+    source_item: str
+    source_rating: float
+    source_review: str
+    like_minded_user: str | None
+    auxiliary_review: str | None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.auxiliary_review is not None
+
+
+class AuxiliaryReviewGenerator:
+    """Generates auxiliary target-domain review documents (Algorithm 1)."""
+
+    def __init__(
+        self,
+        dataset: CrossDomainDataset,
+        allowed_users: Iterable[str],
+        field: str = "summary",
+        seed: int = 0,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        dataset:
+            The cross-domain scenario.
+        allowed_users:
+            Users whose target-domain reviews may be borrowed — the
+            *training* overlapping users. Cold-start users must never appear
+            here (their target reviews are hidden by the protocol).
+        field:
+            Which review field to emit ('summary' or 'text').
+        seed:
+            Seeds the random like-minded-user / review selection.
+        """
+        if field not in ("summary", "text"):
+            raise ValueError("field must be 'summary' or 'text'")
+        self.dataset = dataset
+        self.allowed_users = set(allowed_users)
+        self.field = field
+        self.seed = seed
+        self._cache: dict[str, list[str]] = {}
+
+    def _user_rng(self, user_id: str) -> np.random.Generator:
+        """Per-user generator: selections are deterministic for each user
+        regardless of the order users are processed in (training-time lazy
+        generation and a fresh post-hoc generator agree exactly)."""
+        return np.random.default_rng((self.seed, zlib.crc32(user_id.encode())))
+
+    # ------------------------------------------------------------------
+    def _review_text(self, review: Review) -> str:
+        return review.text if self.field == "text" else (review.summary or review.text)
+
+    def _select_for_record(
+        self, user_id: str, record: Review, rng: np.random.Generator
+    ) -> AuxiliarySelection:
+        """Lines 6-16 of Algorithm 1 for a single purchase record."""
+        like_minded_s = self.dataset.source.like_minded_users(
+            record.item_id, record.rating
+        )
+        # Line 9-11: keep overlapping users with visible target history.
+        like_minded_t = [
+            lm for lm in like_minded_s if lm != user_id and lm in self.allowed_users
+        ]
+        if not like_minded_t:
+            return AuxiliarySelection(
+                source_item=record.item_id,
+                source_rating=record.rating,
+                source_review=self._review_text(record),
+                like_minded_user=None,
+                auxiliary_review=None,
+            )
+        aux_user = like_minded_t[int(rng.integers(len(like_minded_t)))]
+        aux_records = self.dataset.target.reviews_of_user(aux_user)
+        aux_record = aux_records[int(rng.integers(len(aux_records)))]
+        return AuxiliarySelection(
+            source_item=record.item_id,
+            source_rating=record.rating,
+            source_review=self._review_text(record),
+            like_minded_user=aux_user,
+            auxiliary_review=self._review_text(aux_record),
+        )
+
+    # ------------------------------------------------------------------
+    def explain(self, user_id: str) -> list[AuxiliarySelection]:
+        """Full per-record selection trace for ``user_id`` (§5.10 case study)."""
+        records = self.dataset.source.reviews_of_user(user_id)
+        rng = self._user_rng(user_id)
+        return [self._select_for_record(user_id, record, rng) for record in records]
+
+    def generate(self, user_id: str) -> list[str]:
+        """The auxiliary review document for ``user_id`` — one review per
+        source purchase record with at least one eligible like-minded user.
+
+        Results are cached: each user's document is generated once, so the
+        training-time augmentation and the evaluation-time prediction see
+        the same document.
+        """
+        if user_id not in self._cache:
+            trace = self.explain(user_id)
+            self._cache[user_id] = [
+                sel.auxiliary_review for sel in trace if sel.succeeded
+            ]
+        return self._cache[user_id]
+
+    def coverage(self, user_ids: Iterable[str]) -> float:
+        """Fraction of users for whom at least one auxiliary review exists."""
+        user_ids = list(user_ids)
+        if not user_ids:
+            return 0.0
+        hits = sum(1 for uid in user_ids if self.generate(uid))
+        return hits / len(user_ids)

@@ -1,0 +1,69 @@
+"""Checkpointing: persist a trained OmniMatch model and reload it later.
+
+A checkpoint stores the model parameters (``.npz``) next to the exact
+configuration used to build them. Because the corpus artifacts (vocabulary,
+embeddings, auxiliary documents) are deterministic functions of
+``(dataset, split, config)``, reloading rebuilds them through
+:class:`~repro.core.trainer.OmniMatchTrainer` and then restores the
+parameters — so a reloaded predictor reproduces the saved one bit-for-bit
+on the same dataset and split.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+from ..data.records import CrossDomainDataset
+from ..data.split import ColdStartSplit
+from ..nn import load_module, save_module
+from .config import OmniMatchConfig
+from .trainer import OmniMatchTrainer, TrainResult
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_CONFIG_FILE = "config.json"
+_WEIGHTS_FILE = "weights.npz"
+
+
+def save_checkpoint(result: TrainResult, directory: str | os.PathLike) -> None:
+    """Write ``result``'s model weights and config under ``directory``."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    config = dataclasses.asdict(result.model.config)
+    # tuples are not JSON-roundtrippable; mark them for reconstruction
+    config["kernel_sizes"] = list(config["kernel_sizes"])
+    with open(path / _CONFIG_FILE, "w") as handle:
+        json.dump(config, handle, indent=2, sort_keys=True)
+    save_module(result.model, path / _WEIGHTS_FILE)
+
+
+def load_checkpoint(
+    directory: str | os.PathLike,
+    dataset: CrossDomainDataset,
+    split: ColdStartSplit,
+) -> TrainResult:
+    """Rebuild the corpus artifacts and restore the saved parameters.
+
+    ``dataset`` and ``split`` must be the ones the checkpoint was trained
+    on (e.g. regenerated from the same seeds); the vocabulary and frozen
+    embeddings are deterministic given those, so the restored model is
+    exactly the saved one.
+    """
+    path = Path(directory)
+    with open(path / _CONFIG_FILE) as handle:
+        raw = json.load(handle)
+    raw["kernel_sizes"] = tuple(raw["kernel_sizes"])
+    config = OmniMatchConfig(**raw)
+
+    trainer = OmniMatchTrainer(dataset, split, config)
+    load_module(trainer.model, path / _WEIGHTS_FILE)
+    trainer.model.eval()
+    return TrainResult(
+        model=trainer.model,
+        store=trainer.store,
+        aux_generator=trainer.aux_generator,
+        history=[],
+    )

@@ -1,0 +1,206 @@
+"""The OmniMatch model (paper Figure 2): extractors + SCL + DA + rating head.
+
+The rating classifier (Eq. 18) is a 5-way MLP over ``r_target (+) r_item``.
+Predictions for RMSE/MAE use the probability-weighted expected rating
+``sum_k p(k) * k`` rather than the arg-max class, which is the standard way
+to turn a rating classifier into a continuous predictor.
+
+Total objective (Eq. 21): ``L = L_rating + alpha * L_SCL + beta * L_domain``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .adversarial import DomainAdversary
+from .config import OmniMatchConfig
+from .contrastive import ContrastiveModule
+from .extractors import ItemFeatureExtractor, UserFeatureExtractor
+
+__all__ = ["OmniMatchModel", "RATING_VALUES"]
+
+RATING_VALUES = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+
+
+class OmniMatchModel(nn.Module):
+    """End-to-end OmniMatch network over encoded token documents."""
+
+    def __init__(
+        self,
+        embedding_table: np.ndarray,
+        config: OmniMatchConfig,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.config = config
+        rng = rng if rng is not None else np.random.default_rng(config.seed)
+        vocab_size, embed_dim = embedding_table.shape
+        if embed_dim != config.embed_dim:
+            raise ValueError(
+                f"embedding table dim {embed_dim} != config.embed_dim {config.embed_dim}"
+            )
+        # Frozen lookup table (fastText stand-in), shared by all encoders.
+        self.embedding = nn.Embedding(
+            vocab_size, embed_dim, weights=embedding_table, trainable=False, padding_idx=0
+        )
+        self.user_extractor = UserFeatureExtractor(self.embedding, config, rng)
+        self.item_extractor = ItemFeatureExtractor(self.embedding, config, rng)
+
+        repr_dim = self.user_extractor.representation_dim
+        pair_dim = repr_dim + self.item_extractor.output_dim
+        self.contrastive = ContrastiveModule(pair_dim, config, rng)
+        self.adversary = DomainAdversary(config, rng)
+        # Rating head input: [user_repr, r_item, invariant * r_item].
+        # The element-wise product gives the MLP direct access to user-item
+        # affinity (a la neural collaborative filtering); a pure concat-MLP
+        # approximates dot products poorly. In 'dual' mode the user
+        # representation carries both extractors' invariant features so the
+        # head can weight the (real) source view and the (possibly
+        # auxiliary) target view itself.
+        if config.cold_inference == "dual":
+            user_dim = 2 * config.invariant_dim + config.specific_dim
+        else:
+            user_dim = repr_dim
+        head_dim = user_dim + 2 * self.item_extractor.output_dim
+        hidden = max(32, head_dim // 2)
+        self.rating_classifier = nn.MLP(
+            [head_dim, hidden, len(RATING_VALUES)], rng, dropout=config.dropout
+        )
+
+    # ------------------------------------------------------------------
+    # Representation helpers
+    # ------------------------------------------------------------------
+    def user_representations(
+        self, source_tokens: np.ndarray, target_tokens: np.ndarray
+    ) -> dict[str, nn.Tensor]:
+        """Invariant/specific features and combined r_source / r_target."""
+        src_inv, src_spec = self.user_extractor.extract_source(source_tokens)
+        tgt_inv, tgt_spec = self.user_extractor.extract_target(target_tokens)
+        return {
+            "source_invariant": src_inv,
+            "source_specific": src_spec,
+            "target_invariant": tgt_inv,
+            "target_specific": tgt_spec,
+            "source": UserFeatureExtractor.combine(src_inv, src_spec),
+            "target": UserFeatureExtractor.combine(tgt_inv, tgt_spec),
+        }
+
+    def rating_logits(
+        self, invariant: nn.Tensor, user_repr: nn.Tensor, item_repr: nn.Tensor
+    ) -> nn.Tensor:
+        """Eq. 18: MLP over user_repr (+) r_item (+) invariant * r_item."""
+        interaction = invariant * item_repr
+        return self.rating_classifier(
+            nn.concat([user_repr, item_repr, interaction], axis=-1)
+        )
+
+    def _rating_inputs(
+        self,
+        source_invariant: nn.Tensor | None,
+        target_invariant: nn.Tensor,
+        target_specific: nn.Tensor,
+    ) -> tuple[nn.Tensor, nn.Tensor]:
+        """(invariant-for-interaction, user-representation) per inference mode."""
+        mode = self.config.cold_inference
+        if mode == "aux_only" or source_invariant is None:
+            return target_invariant, UserFeatureExtractor.combine(
+                target_invariant, target_specific
+            )
+        blended = (target_invariant + source_invariant) * 0.5
+        if mode == "blend":
+            return blended, UserFeatureExtractor.combine(blended, target_specific)
+        # dual: head sees both views, interaction uses the blend
+        user_repr = nn.concat(
+            [source_invariant, target_invariant, target_specific], axis=-1
+        )
+        return blended, user_repr
+
+    # ------------------------------------------------------------------
+    # Training forward
+    # ------------------------------------------------------------------
+    def compute_losses(
+        self,
+        source_tokens: np.ndarray,
+        target_tokens: np.ndarray,
+        item_tokens: np.ndarray,
+        rating_classes: np.ndarray,
+    ) -> dict[str, nn.Tensor]:
+        """All loss terms for one aligned batch of interactions.
+
+        ``rating_classes`` are zero-based class indices (rating - 1).
+        Toggled-off modules (Table 5 ablations) contribute a constant zero.
+        """
+        reps = self.user_representations(source_tokens, target_tokens)
+        item_repr = self.item_extractor(item_tokens)
+        # Train exactly as we predict: the rating head always receives the
+        # mode-specific combination of source/target invariant features.
+        invariant, user_repr = self._rating_inputs(
+            reps["source_invariant"], reps["target_invariant"], reps["target_specific"]
+        )
+        logits = self.rating_logits(invariant, user_repr, item_repr)
+        loss_rating = nn.cross_entropy(logits, rating_classes)
+
+        if self.config.use_scl:
+            loss_scl = self.contrastive(
+                reps["source"], reps["target"], item_repr, rating_classes
+            )
+        else:
+            loss_scl = nn.Tensor(0.0)
+
+        if self.config.use_domain_adversarial:
+            loss_domain = self.adversary(
+                reps["source_invariant"],
+                reps["target_invariant"],
+                reps["source_specific"],
+                reps["target_specific"],
+            )
+        else:
+            loss_domain = nn.Tensor(0.0)
+
+        total = (
+            loss_rating
+            + self.config.alpha * loss_scl
+            + self.config.beta * loss_domain
+        )
+        return {
+            "total": total,
+            "rating": loss_rating,
+            "scl": loss_scl,
+            "domain": loss_domain,
+        }
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict_ratings(
+        self,
+        target_tokens: np.ndarray,
+        item_tokens: np.ndarray,
+        source_tokens: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Expected rating per row: ``sum_k softmax(logits)_k * k``.
+
+        When ``source_tokens`` is given (blend inference for cold-start
+        users), the domain-invariant half of the user representation is the
+        mean of the target extractor's features over ``target_tokens`` (the
+        auxiliary document) and the source extractor's features over
+        ``source_tokens`` — the two are aligned by the SCL and DA modules,
+        so averaging denoises the auxiliary view with the real source view.
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            with nn.no_grad():
+                tgt_inv, tgt_spec = self.user_extractor.extract_target(target_tokens)
+                src_inv = None
+                if source_tokens is not None:
+                    src_inv, _ = self.user_extractor.extract_source(source_tokens)
+                invariant, user_repr = self._rating_inputs(src_inv, tgt_inv, tgt_spec)
+                item_repr = self.item_extractor(item_tokens)
+                logits = self.rating_logits(invariant, user_repr, item_repr)
+                probs = F.softmax(logits, axis=-1).data
+        finally:
+            self.train(was_training)
+        return probs @ RATING_VALUES

@@ -1,0 +1,228 @@
+"""OmniMatch trainer: corpus preparation, epochs, and timing hooks.
+
+Training data are the *target-domain* interactions of the training
+(overlapping) users. For each interaction the batch carries:
+
+* the user's source document,
+* the user's target document — with probability ``aux_mix_prob`` replaced by
+  the user's *auxiliary* document (Algorithm 1 over like-minded training
+  users). This augmentation closes the train/test gap: at evaluation time a
+  cold-start user's target document *is* an auxiliary document, so the
+  target extractor must learn to read them. Disabling
+  ``use_auxiliary_reviews`` removes the augmentation *and* makes cold users
+  fall back to their source document at prediction time — the failure mode
+  §4.1 describes, and the largest degradation in Table 5.
+* the item document and the rating class label.
+
+Per-module wall-clock timings are accumulated for the Table 6 reproduction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..data.batching import DocumentStore, iter_batches
+from ..data.records import CrossDomainDataset, Review
+from ..data.split import ColdStartSplit
+from ..text import train_ppmi_svd_embeddings
+from .auxiliary import AuxiliaryReviewGenerator
+from .config import OmniMatchConfig
+from .model import OmniMatchModel
+
+__all__ = ["EpochStats", "TrainResult", "OmniMatchTrainer"]
+
+
+@dataclass
+class EpochStats:
+    """Loss averages and wall-clock for one epoch."""
+
+    epoch: int
+    total: float
+    rating: float
+    scl: float
+    domain: float
+    seconds: float
+    valid_rmse: float | None = None
+
+
+@dataclass
+class TrainResult:
+    """Everything a caller needs after training."""
+
+    model: OmniMatchModel
+    store: DocumentStore
+    aux_generator: AuxiliaryReviewGenerator
+    history: list[EpochStats] = field(default_factory=list)
+
+    @property
+    def train_seconds(self) -> float:
+        return sum(stat.seconds for stat in self.history)
+
+
+class OmniMatchTrainer:
+    """Builds the corpus artifacts and runs the training loop."""
+
+    def __init__(
+        self,
+        dataset: CrossDomainDataset,
+        split: ColdStartSplit,
+        config: OmniMatchConfig | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.split = split
+        self.config = config if config is not None else OmniMatchConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+
+        self.store = DocumentStore(
+            dataset,
+            split,
+            doc_len=self.config.doc_len,
+            vocab_size=self.config.vocab_size,
+            field=self.config.field,
+        )
+        embedding_table = train_ppmi_svd_embeddings(
+            self.store.visible_token_documents(),
+            self.store.vocab,
+            dim=self.config.embed_dim,
+            seed=self.config.seed,
+        )
+        self.model = OmniMatchModel(embedding_table, self.config, self._rng)
+        self.aux_generator = AuxiliaryReviewGenerator(
+            dataset,
+            allowed_users=split.train_users,
+            field=self.config.field,
+            seed=self.config.seed,
+        )
+        self._aux_doc_cache: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Document assembly
+    # ------------------------------------------------------------------
+    def _auxiliary_doc(self, user_id: str) -> np.ndarray:
+        if user_id not in self._aux_doc_cache:
+            reviews = self.aux_generator.generate(user_id)
+            self._aux_doc_cache[user_id] = self.store.encode_reviews(reviews)
+        return self._aux_doc_cache[user_id]
+
+    def _batch_arrays(
+        self, batch: list[Review]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        source_docs = []
+        target_docs = []
+        item_docs = []
+        labels = []
+        use_aux = (
+            self.config.use_auxiliary_reviews and self.config.aux_mix_prob > 0.0
+        )
+        empty_doc = np.zeros(self.config.doc_len, dtype=np.int64)
+        for interaction in batch:
+            source_docs.append(self.store.user_source_doc(interaction.user_id))
+            draw = self._rng.random()
+            if draw < self.config.target_dropout_prob:
+                target_docs.append(empty_doc)
+            elif use_aux and draw < self.config.target_dropout_prob + self.config.aux_mix_prob:
+                target_docs.append(self._auxiliary_doc(interaction.user_id))
+            else:
+                target_docs.append(self.store.user_target_doc(interaction.user_id))
+            item_docs.append(self.store.item_doc(interaction.item_id))
+            labels.append(interaction.rating_index)
+        return (
+            np.stack(source_docs),
+            np.stack(target_docs),
+            np.stack(item_docs),
+            np.asarray(labels, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    # Training loop
+    # ------------------------------------------------------------------
+    def fit(self, epochs: int | None = None, validate_every: int = 0) -> TrainResult:
+        """Train for up to ``epochs`` (default: config.epochs) and return artifacts.
+
+        With ``config.early_stopping`` (default), validation RMSE over the
+        cold-start *validation* users is computed every epoch; training stops
+        after ``config.patience`` epochs without improvement, and the best
+        epoch's parameters are restored. ``validate_every`` > 0 additionally
+        records validation RMSE on those epochs when early stopping is off.
+        """
+        epochs = epochs if epochs is not None else self.config.epochs
+        interactions = self.split.train_interactions(self.dataset)
+        if not interactions:
+            raise ValueError("no training interactions: split produced an empty train set")
+
+        if self.config.optimizer == "adam":
+            optimizer = nn.Adam(self.model.parameters(), lr=1e-3)
+        else:
+            optimizer = nn.Adadelta(
+                self.model.parameters(),
+                lr=self.config.learning_rate,
+                rho=self.config.rho,
+            )
+        history: list[EpochStats] = []
+        result = TrainResult(
+            model=self.model, store=self.store, aux_generator=self.aux_generator,
+            history=history,
+        )
+        best_rmse = float("inf")
+        best_state: dict | None = None
+        stale = 0
+        self.model.train()
+        for epoch in range(1, epochs + 1):
+            start = time.perf_counter()
+            sums = {"total": 0.0, "rating": 0.0, "scl": 0.0, "domain": 0.0}
+            batches = 0
+            for batch in iter_batches(interactions, self.config.batch_size, self._rng):
+                arrays = self._batch_arrays(batch)
+                losses = self.model.compute_losses(*arrays)
+                optimizer.zero_grad()
+                losses["total"].backward()
+                nn.clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+                optimizer.step()
+                for key in sums:
+                    sums[key] += losses[key].item()
+                batches += 1
+            seconds = time.perf_counter() - start
+            stats = EpochStats(
+                epoch=epoch,
+                total=sums["total"] / batches,
+                rating=sums["rating"] / batches,
+                scl=sums["scl"] / batches,
+                domain=sums["domain"] / batches,
+                seconds=seconds,
+            )
+            want_valid = self.config.early_stopping or (
+                validate_every and epoch % validate_every == 0
+            )
+            if want_valid:
+                stats.valid_rmse = self._validation_rmse(result)
+            history.append(stats)
+            if self.config.early_stopping and stats.valid_rmse is not None:
+                if stats.valid_rmse < best_rmse - 1e-6:
+                    best_rmse = stats.valid_rmse
+                    best_state = self.model.state_dict()
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= self.config.patience:
+                        break
+                self.model.train()
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        self.model.eval()
+        return result
+
+    def _validation_rmse(self, result: TrainResult) -> float:
+        from .predictor import ColdStartPredictor  # local import: cycle guard
+        from ..eval.metrics import rmse
+
+        predictor = ColdStartPredictor(result)
+        interactions = self.split.eval_interactions(self.dataset, "valid")
+        if not interactions:
+            return float("nan")
+        predicted = predictor.predict_interactions(interactions)
+        actual = np.array([r.rating for r in interactions])
+        return rmse(actual, predicted)

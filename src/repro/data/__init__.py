@@ -1,0 +1,39 @@
+"""``repro.data`` — review records, synthetic corpora, splits, and batching."""
+
+from .batching import DocumentStore, iter_batches
+from .io import load_cross_domain_jsonl, load_domain_jsonl, save_domain_jsonl
+from .records import RATING_LEVELS, CrossDomainDataset, DomainData, Review
+from .split import ColdStartSplit, cold_start_split
+from .stats import DomainStats, cross_domain_stats, domain_stats, format_stats
+from .synthetic import (
+    DATASET_PROFILES,
+    DOMAINS,
+    TOPICS,
+    GeneratorConfig,
+    generate_domain_pair,
+    generate_scenario,
+)
+
+__all__ = [
+    "Review",
+    "DomainData",
+    "CrossDomainDataset",
+    "RATING_LEVELS",
+    "ColdStartSplit",
+    "cold_start_split",
+    "GeneratorConfig",
+    "DATASET_PROFILES",
+    "DOMAINS",
+    "TOPICS",
+    "generate_scenario",
+    "generate_domain_pair",
+    "DocumentStore",
+    "iter_batches",
+    "load_domain_jsonl",
+    "save_domain_jsonl",
+    "load_cross_domain_jsonl",
+    "DomainStats",
+    "domain_stats",
+    "cross_domain_stats",
+    "format_stats",
+]

@@ -1,0 +1,137 @@
+"""Document store and mini-batch iteration.
+
+The :class:`DocumentStore` materializes, once per experiment, the encoded
+token documents the feature extractors consume:
+
+* a user's **source document** — concatenation of their source-domain
+  reviews (visible for every user, including cold-start users);
+* a user's **target document** — concatenation of their target-domain
+  reviews, *only* for training users (cold users' target reviews are hidden
+  by the protocol and never enter the store);
+* an **item document** — concatenation of the reviews written about the
+  item by visible users (training + non-overlapping target users). Reviews
+  written by cold-start users are excluded to avoid evaluation leakage.
+
+The vocabulary is likewise built only from visible text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..text import REVIEW_SEPARATOR, Vocabulary, build_document
+from .records import CrossDomainDataset, Review
+from .split import ColdStartSplit
+
+__all__ = ["DocumentStore", "iter_batches"]
+
+
+class DocumentStore:
+    """Encoded documents + vocabulary for one (dataset, split) pair."""
+
+    def __init__(
+        self,
+        dataset: CrossDomainDataset,
+        split: ColdStartSplit,
+        doc_len: int = 64,
+        vocab_size: int = 4000,
+        field: str = "summary",
+    ) -> None:
+        if field not in ("summary", "text"):
+            raise ValueError("field must be 'summary' or 'text'")
+        self.dataset = dataset
+        self.split = split
+        self.doc_len = doc_len
+        self.field = field
+        self._cold = set(split.cold_users)
+        self._train = set(split.train_users)
+
+        self._user_source_cache: dict[str, np.ndarray] = {}
+        self._user_target_cache: dict[str, np.ndarray] = {}
+        self._item_cache: dict[str, np.ndarray] = {}
+
+        corpus = [self._review_text(r) for r in self._visible_reviews()]
+        token_docs = [build_document([text]) for text in corpus]
+        self.vocab = Vocabulary.build(
+            token_docs, max_size=vocab_size, specials=[REVIEW_SEPARATOR]
+        )
+        self._token_docs = token_docs  # kept for embedding training
+
+    # ------------------------------------------------------------------
+    # Visibility rules
+    # ------------------------------------------------------------------
+    def _review_text(self, review: Review) -> str:
+        return review.text if self.field == "text" else review.summary
+
+    def _visible_reviews(self) -> list[Review]:
+        """Everything the model may read: all source reviews + non-cold target."""
+        visible = list(self.dataset.source.reviews)
+        visible.extend(
+            r for r in self.dataset.target.reviews if r.user_id not in self._cold
+        )
+        return visible
+
+    def visible_token_documents(self) -> list[list[str]]:
+        """Per-review token lists — the embedding-training corpus."""
+        return self._token_docs
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode_reviews(self, reviews: Sequence[str]) -> np.ndarray:
+        """Concatenate ``reviews`` with separators and encode to ``doc_len`` ids."""
+        tokens = build_document(reviews, max_tokens=self.doc_len)
+        return self.vocab.encode(tokens, length=self.doc_len)
+
+    def user_source_doc(self, user_id: str) -> np.ndarray:
+        """Encoded source-domain document (available for every user)."""
+        if user_id not in self._user_source_cache:
+            reviews = [
+                self._review_text(r)
+                for r in self.dataset.source.reviews_of_user(user_id)
+            ]
+            self._user_source_cache[user_id] = self.encode_reviews(reviews)
+        return self._user_source_cache[user_id]
+
+    def user_target_doc(self, user_id: str) -> np.ndarray:
+        """Real target-domain document — training users only."""
+        if user_id in self._cold:
+            raise KeyError(
+                f"user {user_id!r} is cold-start: its target reviews are hidden"
+            )
+        if user_id not in self._user_target_cache:
+            reviews = [
+                self._review_text(r)
+                for r in self.dataset.target.reviews_of_user(user_id)
+            ]
+            self._user_target_cache[user_id] = self.encode_reviews(reviews)
+        return self._user_target_cache[user_id]
+
+    def item_doc(self, item_id: str) -> np.ndarray:
+        """Encoded item document from visible target-domain reviews."""
+        if item_id not in self._item_cache:
+            reviews = [
+                self._review_text(r)
+                for r in self.dataset.target.reviews_of_item(item_id)
+                if r.user_id not in self._cold
+            ]
+            self._item_cache[item_id] = self.encode_reviews(reviews)
+        return self._item_cache[item_id]
+
+
+def iter_batches(
+    interactions: Sequence[Review],
+    batch_size: int,
+    rng: np.random.Generator,
+    shuffle: bool = True,
+) -> Iterator[list[Review]]:
+    """Yield mini-batches of interactions, reshuffled each pass."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    order = np.arange(len(interactions))
+    if shuffle:
+        rng.shuffle(order)
+    for start in range(0, len(order), batch_size):
+        yield [interactions[i] for i in order[start : start + batch_size]]

@@ -1,0 +1,125 @@
+"""Dataset persistence: JSON-lines import/export.
+
+The paper evaluates on the public Amazon Review and Douban dumps, which are
+distributed as JSON-lines with (at least) ``reviewerID``, ``asin``,
+``overall``, ``summary`` and ``reviewText`` fields. This module reads that
+format (and writes a compatible one), so the reproduction runs unchanged on
+the real data when it is available — swap ``generate_scenario`` for two
+:func:`load_domain_jsonl` calls.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable
+
+from .records import CrossDomainDataset, DomainData, Review
+
+__all__ = ["load_domain_jsonl", "save_domain_jsonl", "load_cross_domain_jsonl"]
+
+#: Default field mapping: ours -> Amazon Review dump names.
+AMAZON_FIELDS = {
+    "user_id": "reviewerID",
+    "item_id": "asin",
+    "rating": "overall",
+    "summary": "summary",
+    "text": "reviewText",
+}
+
+
+def load_domain_jsonl(
+    path: str | os.PathLike,
+    name: str,
+    fields: dict[str, str] | None = None,
+    drop_empty_reviews: bool = True,
+) -> DomainData:
+    """Load one domain from a JSON-lines file.
+
+    Parameters
+    ----------
+    path:
+        File with one JSON object per line.
+    name:
+        Domain name (e.g. ``"books"``).
+    fields:
+        Mapping from our field names (``user_id``, ``item_id``, ``rating``,
+        ``summary``, ``text``) to the file's key names. Defaults to the
+        Amazon Review dump's keys.
+    drop_empty_reviews:
+        Skip records without a summary and without a review body — the
+        paper's preprocessing ("we removed the records that do not include
+        reviews", §5.2).
+    """
+    mapping = dict(AMAZON_FIELDS)
+    if fields:
+        mapping.update(fields)
+    reviews: list[Review] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{line_number}: invalid JSON") from error
+            summary = str(record.get(mapping["summary"], "") or "")
+            text = str(record.get(mapping["text"], "") or "")
+            if drop_empty_reviews and not summary and not text:
+                continue
+            rating = float(record[mapping["rating"]])
+            reviews.append(
+                Review(
+                    user_id=str(record[mapping["user_id"]]),
+                    item_id=str(record[mapping["item_id"]]),
+                    rating=float(min(5.0, max(1.0, round(rating)))),
+                    summary=summary or text,
+                    text=text,
+                )
+            )
+    return DomainData(name, reviews)
+
+
+def save_domain_jsonl(
+    domain: DomainData,
+    path: str | os.PathLike,
+    fields: dict[str, str] | None = None,
+) -> None:
+    """Write a domain back out in the (Amazon-compatible) JSON-lines format."""
+    mapping = dict(AMAZON_FIELDS)
+    if fields:
+        mapping.update(fields)
+    with open(path, "w") as handle:
+        for review in domain.reviews:
+            record = {
+                mapping["user_id"]: review.user_id,
+                mapping["item_id"]: review.item_id,
+                mapping["rating"]: review.rating,
+                mapping["summary"]: review.summary,
+                mapping["text"]: review.text,
+            }
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_cross_domain_jsonl(
+    source_path: str | os.PathLike,
+    target_path: str | os.PathLike,
+    source_name: str,
+    target_name: str,
+    overlap_only: bool = False,
+    fields: dict[str, str] | None = None,
+) -> CrossDomainDataset:
+    """Load a (source, target) scenario from two JSON-lines files.
+
+    With ``overlap_only`` the dataset is restricted to overlapping users,
+    matching the paper's preprocessing ("for each cross-domain scenario, we
+    only keep users who have records in both domains").
+    """
+    source = load_domain_jsonl(source_path, source_name, fields=fields)
+    target = load_domain_jsonl(target_path, target_name, fields=fields)
+    if overlap_only:
+        shared = source.users & target.users
+        source = DomainData(source_name, [r for r in source.reviews if r.user_id in shared])
+        target = DomainData(target_name, [r for r in target.reviews if r.user_id in shared])
+    return CrossDomainDataset(source, target)

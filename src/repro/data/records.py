@@ -1,0 +1,134 @@
+"""Review records, per-domain datasets, and cross-domain containers.
+
+``DomainData`` pre-builds the two dictionaries the paper's §4.1 complexity
+analysis calls for:
+
+1. ``by_user``   — user_id -> list of that user's reviews (item, rating, text)
+2. ``like_minded`` — (item_id, rating) -> list of user_ids who gave that
+   item that rating
+
+With these, every data-retrieval step of Algorithm 1 is O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["Review", "DomainData", "CrossDomainDataset", "RATING_LEVELS"]
+
+RATING_LEVELS = (1.0, 2.0, 3.0, 4.0, 5.0)
+
+
+@dataclass(frozen=True)
+class Review:
+    """One user-item interaction: rating plus review text.
+
+    ``summary`` is the short "review summary" field the paper trains on;
+    ``text`` is the full review body used by the ``OmniMatch-ReviewText``
+    ablation (Table 5).
+    """
+
+    user_id: str
+    item_id: str
+    rating: float
+    summary: str
+    text: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rating not in RATING_LEVELS:
+            raise ValueError(f"rating must be one of {RATING_LEVELS}, got {self.rating}")
+
+    @property
+    def rating_index(self) -> int:
+        """Zero-based class index for the 5-way rating classifier."""
+        return int(self.rating) - 1
+
+
+class DomainData:
+    """All reviews of one domain plus the O(1) lookup indexes."""
+
+    def __init__(self, name: str, reviews: Iterable[Review]) -> None:
+        self.name = name
+        self.reviews: list[Review] = list(reviews)
+        self.by_user: dict[str, list[Review]] = {}
+        self.by_item: dict[str, list[Review]] = {}
+        self.like_minded: dict[tuple[str, float], list[str]] = {}
+        for review in self.reviews:
+            self.by_user.setdefault(review.user_id, []).append(review)
+            self.by_item.setdefault(review.item_id, []).append(review)
+            self.like_minded.setdefault((review.item_id, review.rating), []).append(
+                review.user_id
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def users(self) -> set[str]:
+        return set(self.by_user)
+
+    @property
+    def items(self) -> set[str]:
+        return set(self.by_item)
+
+    def __len__(self) -> int:
+        return len(self.reviews)
+
+    def reviews_of_user(self, user_id: str) -> list[Review]:
+        """The user's purchase records in this domain (Algorithm 1, line 4)."""
+        return self.by_user.get(user_id, [])
+
+    def reviews_of_item(self, item_id: str) -> list[Review]:
+        """All reviews written about ``item_id`` in this domain."""
+        return self.by_item.get(item_id, [])
+
+    def like_minded_users(self, item_id: str, rating: float) -> list[str]:
+        """Users who rated ``item_id`` exactly ``rating`` (Algorithm 1, line 7)."""
+        return self.like_minded.get((item_id, rating), [])
+
+    def user_summaries(self, user_id: str) -> list[str]:
+        """The user's review summaries, in insertion order."""
+        return [r.summary for r in self.reviews_of_user(user_id)]
+
+    def user_texts(self, user_id: str) -> list[str]:
+        """The user's full review bodies (summary fallback when empty)."""
+        return [r.text or r.summary for r in self.reviews_of_user(user_id)]
+
+    def item_summaries(self, item_id: str) -> list[str]:
+        """Summaries of all reviews about ``item_id``."""
+        return [r.summary for r in self.reviews_of_item(item_id)]
+
+    def density(self) -> float:
+        """Interaction density |R| / (|U| * |I|) — a sparsity diagnostic."""
+        denom = len(self.by_user) * len(self.by_item)
+        return len(self.reviews) / denom if denom else 0.0
+
+
+@dataclass
+class CrossDomainDataset:
+    """A (source domain, target domain) pair for one CDR scenario."""
+
+    source: DomainData
+    target: DomainData
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def overlapping_users(self) -> set[str]:
+        """U^o = U^s intersect U^t (paper §2)."""
+        return self.source.users & self.target.users
+
+    @property
+    def scenario(self) -> str:
+        return f"{self.source.name} -> {self.target.name}"
+
+    def summary(self) -> dict:
+        """Size card used by the experiment harness logs."""
+        return {
+            "scenario": self.scenario,
+            "source_users": len(self.source.users),
+            "target_users": len(self.target.users),
+            "overlap_users": len(self.overlapping_users),
+            "source_items": len(self.source.items),
+            "target_items": len(self.target.items),
+            "source_reviews": len(self.source),
+            "target_reviews": len(self.target),
+        }

@@ -1,0 +1,99 @@
+"""Cold-start evaluation protocol (paper §5.2).
+
+Among overlapping users, 80 % are training users; the remaining 20 % are
+cold-start users whose *target-domain* reviews are hidden from the model and
+used only for evaluation — half as validation, half as test.
+
+Table 4 additionally varies the *proportion of training users actually
+used* (100 / 80 / 50 / 20 %); that is the ``train_fraction`` knob, applied
+after the 80/20 cold-start split so the evaluation population never changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .records import CrossDomainDataset, Review
+
+__all__ = ["ColdStartSplit", "cold_start_split"]
+
+
+@dataclass(frozen=True)
+class ColdStartSplit:
+    """Partition of the overlapping users for one scenario."""
+
+    train_users: tuple[str, ...]
+    valid_users: tuple[str, ...]
+    test_users: tuple[str, ...]
+
+    @property
+    def cold_users(self) -> tuple[str, ...]:
+        return self.valid_users + self.test_users
+
+    def eval_interactions(
+        self, dataset: CrossDomainDataset, subset: str
+    ) -> list[Review]:
+        """Hidden target-domain reviews of the validation or test users."""
+        if subset not in ("valid", "test"):
+            raise ValueError("subset must be 'valid' or 'test'")
+        users = self.valid_users if subset == "valid" else self.test_users
+        out: list[Review] = []
+        for user in users:
+            out.extend(dataset.target.reviews_of_user(user))
+        return out
+
+    def train_interactions(self, dataset: CrossDomainDataset) -> list[Review]:
+        """Target-domain reviews of the training users (the rating labels)."""
+        out: list[Review] = []
+        for user in self.train_users:
+            out.extend(dataset.target.reviews_of_user(user))
+        return out
+
+
+def cold_start_split(
+    dataset: CrossDomainDataset,
+    cold_fraction: float = 0.2,
+    train_fraction: float = 1.0,
+    seed: int = 0,
+) -> ColdStartSplit:
+    """Split overlapping users into train / validation / test populations.
+
+    Parameters
+    ----------
+    dataset:
+        The cross-domain scenario.
+    cold_fraction:
+        Fraction of overlapping users held out as cold-start (paper: 0.2).
+    train_fraction:
+        Fraction of the *remaining* training users actually kept — the
+        Table 4 sweep (1.0, 0.8, 0.5, 0.2).
+    seed:
+        Controls the shuffle; the same seed always yields the same split.
+    """
+    if not 0.0 < cold_fraction < 1.0:
+        raise ValueError("cold_fraction must be in (0, 1)")
+    if not 0.0 < train_fraction <= 1.0:
+        raise ValueError("train_fraction must be in (0, 1]")
+
+    overlap = sorted(dataset.overlapping_users)
+    if len(overlap) < 5:
+        raise ValueError(f"too few overlapping users ({len(overlap)}) to split")
+
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(overlap))
+
+    num_cold = max(2, int(round(cold_fraction * len(overlap))))
+    cold = [overlap[i] for i in order[:num_cold]]
+    train = [overlap[i] for i in order[num_cold:]]
+
+    keep = max(1, int(round(train_fraction * len(train))))
+    train = train[:keep]
+
+    half = len(cold) // 2
+    return ColdStartSplit(
+        train_users=tuple(train),
+        valid_users=tuple(cold[:half]),
+        test_users=tuple(cold[half:]),
+    )

@@ -1,0 +1,99 @@
+"""Dataset statistics: the sanity report printed before every experiment.
+
+Collects the numbers a recommender-systems paper's dataset table reports:
+user/item/interaction counts, density, rating histogram, reviews-per-user
+and reviews-per-item distributions, and overlap statistics for a
+cross-domain pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .records import CrossDomainDataset, DomainData, RATING_LEVELS
+
+__all__ = ["DomainStats", "domain_stats", "cross_domain_stats", "format_stats"]
+
+
+@dataclass(frozen=True)
+class DomainStats:
+    """Summary statistics of one domain."""
+
+    name: str
+    num_users: int
+    num_items: int
+    num_reviews: int
+    density: float
+    rating_histogram: dict[float, int]
+    mean_rating: float
+    reviews_per_user_mean: float
+    reviews_per_user_median: float
+    reviews_per_item_mean: float
+    reviews_per_item_median: float
+
+
+def domain_stats(domain: DomainData) -> DomainStats:
+    """Compute :class:`DomainStats` for ``domain``."""
+    per_user = [len(v) for v in domain.by_user.values()] or [0]
+    per_item = [len(v) for v in domain.by_item.values()] or [0]
+    ratings = [r.rating for r in domain.reviews]
+    histogram = {level: 0 for level in RATING_LEVELS}
+    for rating in ratings:
+        histogram[rating] += 1
+    return DomainStats(
+        name=domain.name,
+        num_users=len(domain.by_user),
+        num_items=len(domain.by_item),
+        num_reviews=len(domain.reviews),
+        density=domain.density(),
+        rating_histogram=histogram,
+        mean_rating=float(np.mean(ratings)) if ratings else 0.0,
+        reviews_per_user_mean=float(np.mean(per_user)),
+        reviews_per_user_median=float(np.median(per_user)),
+        reviews_per_item_mean=float(np.mean(per_item)),
+        reviews_per_item_median=float(np.median(per_item)),
+    )
+
+
+def cross_domain_stats(dataset: CrossDomainDataset) -> dict:
+    """Per-domain stats plus overlap figures for a scenario."""
+    overlap = dataset.overlapping_users
+    source_users = dataset.source.users
+    target_users = dataset.target.users
+    return {
+        "scenario": dataset.scenario,
+        "source": domain_stats(dataset.source),
+        "target": domain_stats(dataset.target),
+        "overlap_users": len(overlap),
+        "overlap_fraction_of_source": len(overlap) / max(1, len(source_users)),
+        "overlap_fraction_of_target": len(overlap) / max(1, len(target_users)),
+    }
+
+
+def format_stats(dataset: CrossDomainDataset) -> str:
+    """Human-readable multi-line report."""
+    stats = cross_domain_stats(dataset)
+    lines = [f"scenario: {stats['scenario']}"]
+    for side in ("source", "target"):
+        s: DomainStats = stats[side]
+        hist = " ".join(f"{int(k)}:{v}" for k, v in sorted(s.rating_histogram.items()))
+        lines.append(
+            f"  {side} ({s.name}): users={s.num_users} items={s.num_items} "
+            f"reviews={s.num_reviews} density={s.density:.4f} "
+            f"mean_rating={s.mean_rating:.2f}"
+        )
+        lines.append(
+            f"    reviews/user mean={s.reviews_per_user_mean:.1f} "
+            f"median={s.reviews_per_user_median:.0f} | "
+            f"reviews/item mean={s.reviews_per_item_mean:.1f} "
+            f"median={s.reviews_per_item_median:.0f}"
+        )
+        lines.append(f"    rating histogram: {hist}")
+    lines.append(
+        f"  overlap: {stats['overlap_users']} users "
+        f"({stats['overlap_fraction_of_source']:.0%} of source, "
+        f"{stats['overlap_fraction_of_target']:.0%} of target)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""``repro.eval`` — metrics, experiment protocol, method registry, tables."""
+
+from .metrics import mae, rmse
+from .protocol import ExperimentResult, run_experiment, run_scenario_methods
+from .registry import METHODS, PAPER_METHODS, FittedMethod, make_predictor
+from .results import format_comparison, format_table, improvement_over_best_baseline
+from .significance import BootstrapResult, paired_bootstrap
+
+__all__ = [
+    "rmse",
+    "mae",
+    "ExperimentResult",
+    "run_experiment",
+    "run_scenario_methods",
+    "METHODS",
+    "PAPER_METHODS",
+    "FittedMethod",
+    "make_predictor",
+    "format_table",
+    "format_comparison",
+    "improvement_over_best_baseline",
+    "BootstrapResult",
+    "paired_bootstrap",
+]

@@ -1,0 +1,29 @@
+"""Evaluation metrics: RMSE and MAE (paper Eq. 22-23)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rmse", "mae"]
+
+
+def _validate(actual: np.ndarray, predicted: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    actual = np.asarray(actual, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    if actual.shape != predicted.shape:
+        raise ValueError(f"shape mismatch: {actual.shape} vs {predicted.shape}")
+    if actual.size == 0:
+        raise ValueError("cannot compute a metric over zero interactions")
+    return actual, predicted
+
+
+def rmse(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Root mean squared error over the cold-start test set (Eq. 22)."""
+    actual, predicted = _validate(actual, predicted)
+    return float(np.sqrt(np.mean((actual - predicted) ** 2)))
+
+
+def mae(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute error (Eq. 23)."""
+    actual, predicted = _validate(actual, predicted)
+    return float(np.mean(np.abs(actual - predicted)))

@@ -1,0 +1,122 @@
+"""Method registry: name -> factory producing a fitted predictor.
+
+Every method — the six baselines and OmniMatch — is exposed behind one
+uniform callable so the experiment protocol and the benchmark harness can
+sweep over methods by name, exactly like the paper's tables do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..baselines import (
+    CMF,
+    EMCDR,
+    NGCF,
+    PTUPCDR,
+    DeepCoNN,
+    GlobalMean,
+    HeroGraph,
+    ItemMean,
+    LightGCN,
+)
+from ..core import ColdStartPredictor, OmniMatchConfig, OmniMatchTrainer
+from ..data.records import CrossDomainDataset, Review
+from ..data.split import ColdStartSplit
+
+__all__ = ["METHODS", "PAPER_METHODS", "make_predictor", "FittedMethod"]
+
+
+class FittedMethod:
+    """A fitted method exposing ``predict_interactions``."""
+
+    def __init__(self, name: str, predict_fn: Callable[[list[Review]], np.ndarray]) -> None:
+        self.name = name
+        self._predict_fn = predict_fn
+
+    def predict_interactions(self, interactions: list[Review]) -> np.ndarray:
+        """Predict ratings for the given held-out interactions."""
+        return self._predict_fn(interactions)
+
+
+def _fit_omnimatch(
+    dataset: CrossDomainDataset,
+    split: ColdStartSplit,
+    seed: int,
+    config: OmniMatchConfig | None = None,
+) -> FittedMethod:
+    if config is None:
+        config = OmniMatchConfig(seed=seed)
+    elif config.seed != seed:
+        import dataclasses
+
+        config = dataclasses.replace(config, seed=seed)
+    trainer = OmniMatchTrainer(dataset, split, config)
+    result = trainer.fit()
+    predictor = ColdStartPredictor(result)
+    return FittedMethod("OmniMatch", predictor.predict_interactions)
+
+
+def _baseline_factory(cls, **kwargs):
+    def fit(dataset: CrossDomainDataset, split: ColdStartSplit, seed: int, config=None):
+        extra = dict(kwargs)
+        model = cls(**extra)
+        # Baselines take their seed through their own config objects where
+        # applicable; the simple ones are deterministic given the split.
+        if hasattr(model, "seed"):
+            model.seed = seed
+        if hasattr(model, "config") and hasattr(model.config, "seed"):
+            import dataclasses
+
+            model.config = dataclasses.replace(model.config, seed=seed)
+        if hasattr(model, "mf_config"):
+            import dataclasses
+
+            model.mf_config = dataclasses.replace(model.mf_config, seed=seed)
+            model.source_mf.config = model.mf_config
+            model.target_mf.config = model.mf_config
+        model.fit(dataset, split)
+        return FittedMethod(model.name, model.predict_interactions)
+
+    return fit
+
+
+#: All registered methods. Values: fn(dataset, split, seed, config) -> FittedMethod
+METHODS: dict[str, Callable] = {
+    "OmniMatch": _fit_omnimatch,
+    "CMF": _baseline_factory(CMF),
+    "EMCDR": _baseline_factory(EMCDR),
+    "PTUPCDR": _baseline_factory(PTUPCDR),
+    "NGCF": _baseline_factory(NGCF),
+    "LIGHTGCN": _baseline_factory(LightGCN),
+    "HeroGraph": _baseline_factory(HeroGraph),
+    "DeepCoNN": _baseline_factory(DeepCoNN),
+    "global-mean": _baseline_factory(GlobalMean),
+    "item-mean": _baseline_factory(ItemMean),
+}
+
+#: The methods that appear in the paper's Tables 2-3, in column order.
+PAPER_METHODS: tuple[str, ...] = (
+    "NGCF",
+    "LIGHTGCN",
+    "CMF",
+    "EMCDR",
+    "PTUPCDR",
+    "HeroGraph",
+    "OmniMatch",
+)
+
+
+def make_predictor(
+    name: str,
+    dataset: CrossDomainDataset,
+    split: ColdStartSplit,
+    seed: int = 0,
+    config: OmniMatchConfig | None = None,
+) -> FittedMethod:
+    """Fit the named method and return its predictor."""
+    if name not in METHODS:
+        raise KeyError(f"unknown method {name!r}; choose from {sorted(METHODS)}")
+    return METHODS[name](dataset, split, seed, config)

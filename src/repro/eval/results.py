@@ -1,0 +1,53 @@
+"""Result-table formatting: render experiment results like the paper's tables."""
+
+from __future__ import annotations
+
+from .protocol import ExperimentResult
+
+__all__ = ["format_table", "format_comparison", "improvement_over_best_baseline"]
+
+
+def format_table(results: list[ExperimentResult], metric: str = "RMSE") -> str:
+    """Plain-text grid: rows = scenarios, columns = methods."""
+    metric_attr = metric.lower()
+    scenarios = list(dict.fromkeys(r.scenario for r in results))
+    methods = list(dict.fromkeys(r.method for r in results))
+    cell = {(r.scenario, r.method): getattr(r, metric_attr) for r in results}
+
+    width = max(12, max(len(m) for m in methods) + 2)
+    header = f"{'scenario':24s}" + "".join(f"{m:>{width}s}" for m in methods)
+    lines = [header, "-" * len(header)]
+    for scenario in scenarios:
+        row = f"{scenario:24s}"
+        for method in methods:
+            value = cell.get((scenario, method))
+            row += f"{value:>{width}.3f}" if value is not None else " " * width
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def improvement_over_best_baseline(
+    results: list[ExperimentResult], ours: str = "OmniMatch", metric: str = "rmse"
+) -> float:
+    """Paper's Δ%: relative improvement of ``ours`` over the best baseline."""
+    our = [r for r in results if r.method == ours]
+    others = [r for r in results if r.method != ours]
+    if not our or not others:
+        raise ValueError("need both our method and at least one baseline")
+    our_value = getattr(our[0], metric)
+    best_other = min(getattr(r, metric) for r in others)
+    return 100.0 * (best_other - our_value) / best_other
+
+
+def format_comparison(results: list[ExperimentResult]) -> str:
+    """Both metrics plus the paper's Δ% column for one scenario."""
+    lines = [f"{'method':>12s} {'RMSE':>8s} {'MAE':>8s}"]
+    for r in results:
+        lines.append(f"{r.method:>12s} {r.rmse:>8.3f} {r.mae:>8.3f}")
+    try:
+        delta_rmse = improvement_over_best_baseline(results, metric="rmse")
+        delta_mae = improvement_over_best_baseline(results, metric="mae")
+        lines.append(f"{'Δ% (ours)':>12s} {delta_rmse:>7.1f}% {delta_mae:>7.1f}%")
+    except ValueError:
+        pass
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""``repro.nn`` — a from-scratch deep-learning substrate on numpy.
+
+Provides the tensor autograd engine, layers, losses, and optimizers that
+OmniMatch and the neural baselines are built on. The public surface mirrors
+the small slice of PyTorch the paper's implementation relies on.
+"""
+
+from .attention import MultiHeadSelfAttention, TransformerEncoder, TransformerEncoderLayer
+from .conv import TextConv, conv1d_text, max_over_time, mean_over_time
+from .layers import MLP, Dropout, Embedding, LayerNorm, Linear, ReLU, Tanh
+from .loss import (
+    CrossEntropyLoss,
+    MSELoss,
+    SupConLoss,
+    cross_entropy,
+    mse_loss,
+    supcon_loss,
+)
+from .module import Module, Parameter, Sequential
+from .optim import SGD, Adadelta, Adam, Optimizer, clip_grad_norm
+from .serialization import load_module, save_module
+from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack
+from . import functional
+from . import init
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concat",
+    "stack",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "ReLU",
+    "Tanh",
+    "LayerNorm",
+    "MLP",
+    "TextConv",
+    "conv1d_text",
+    "max_over_time",
+    "mean_over_time",
+    "MultiHeadSelfAttention",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
+    "MSELoss",
+    "CrossEntropyLoss",
+    "SupConLoss",
+    "mse_loss",
+    "cross_entropy",
+    "supcon_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Adadelta",
+    "clip_grad_norm",
+    "save_module",
+    "load_module",
+    "functional",
+    "init",
+]

@@ -1,0 +1,120 @@
+"""Small transformer encoder — the "BERT" feature-extractor ablation.
+
+Table 5 of the paper includes an ``OmniMatch-BERT`` row in which the CNN
+feature extractors are replaced with BERT, and finds the heavier contextual
+encoder *underperforms* on short review summaries. Since pretrained BERT is
+not available offline, this module provides a from-scratch multi-head
+self-attention encoder filling the same architectural slot: a contextual
+document encoder whose pooled output replaces the CNN's pooled output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .layers import Dropout, LayerNorm, Linear
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["MultiHeadSelfAttention", "TransformerEncoderLayer", "TransformerEncoder"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention with ``num_heads`` heads."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.query = Linear(dim, dim, rng)
+        self.key = Linear(dim, dim, rng)
+        self.value = Linear(dim, dim, rng)
+        self.out = Linear(dim, dim, rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        # (B, T, D) -> (B, H, T, Dh)
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose((0, 2, 1, 3))
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.query(x), batch, seq)
+        k = self._split_heads(self.key(x), batch, seq)
+        v = self._split_heads(self.value(x), batch, seq)
+        scores = (q @ k.transpose((0, 1, 3, 2))) / float(np.sqrt(self.head_dim))
+        weights = F.softmax(scores, axis=-1)
+        context = weights @ v  # (B, H, T, Dh)
+        merged = context.transpose((0, 2, 1, 3)).reshape(batch, seq, self.dim)
+        return self.out(merged)
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer block: attention + position-wise feed-forward."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        hidden_dim: int,
+        rng: np.random.Generator,
+        dropout: float = 0.1,
+    ) -> None:
+        super().__init__()
+        self.attention = MultiHeadSelfAttention(dim, num_heads, rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.ff1 = Linear(dim, hidden_dim, rng)
+        self.ff2 = Linear(hidden_dim, dim, rng)
+        self.drop = Dropout(dropout, rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        attended = self.attention(self.norm1(x))
+        if self.drop is not None:
+            attended = self.drop(attended)
+        x = x + attended
+        hidden = F.relu(self.ff1(self.norm2(x)))
+        if self.drop is not None:
+            hidden = self.drop(hidden)
+        return x + self.ff2(hidden)
+
+
+class TransformerEncoder(Module):
+    """Token embeddings + learned positions + N blocks + mean pooling.
+
+    The pooled output has dimension ``dim`` and plugs into the same
+    domain-invariant / domain-specific projection heads as the CNN.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_layers: int,
+        num_heads: int,
+        hidden_dim: int,
+        max_len: int,
+        rng: np.random.Generator,
+        dropout: float = 0.1,
+    ) -> None:
+        super().__init__()
+        self.max_len = max_len
+        self.position = Parameter(init.normal((max_len, embed_dim), rng, std=0.02))
+        self.blocks: list[TransformerEncoderLayer] = []
+        for index in range(num_layers):
+            block = TransformerEncoderLayer(embed_dim, num_heads, hidden_dim, rng, dropout)
+            setattr(self, f"block{index}", block)
+            self.blocks.append(block)
+        self.final_norm = LayerNorm(embed_dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Encode ``(B, T, E)`` token embeddings into ``(B, E)`` pooled vectors."""
+        seq = x.shape[1]
+        if seq > self.max_len:
+            raise ValueError(f"sequence length {seq} exceeds max_len {self.max_len}")
+        x = x + self.position[:seq]
+        for block in self.blocks:
+            x = block(x)
+        return self.final_norm(x).mean(axis=1)

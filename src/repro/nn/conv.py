@@ -1,0 +1,163 @@
+"""1-D text convolution and max-over-time pooling.
+
+OmniMatch's Feature Extraction Module (paper §4.2, Eq. 4–7) applies a bank
+of 1-D convolutions with kernel sizes (3, 4, 5) over the word-embedding
+matrix of a review document, followed by ReLU and max-over-time pooling.
+
+The convolution is implemented with a hand-written backward pass (rather
+than being composed from primitive ops) because the im2col expansion is the
+hot loop of training; the vectorized ``tensordot`` formulation below is
+~50x faster than a per-window composition of autograd primitives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, concat
+
+__all__ = ["conv1d_text", "max_over_time", "TextConv"]
+
+
+def conv1d_text(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Valid 1-D convolution over the sequence axis of a token-embedding batch.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(batch, seq_len, embed_dim)``.
+    weight:
+        Kernels of shape ``(num_filters, kernel_size, embed_dim)``.
+    bias:
+        Optional per-filter bias of shape ``(num_filters,)``.
+
+    Returns
+    -------
+    Tensor of shape ``(batch, seq_len - kernel_size + 1, num_filters)``.
+    """
+    batch, seq_len, embed_dim = x.data.shape
+    num_filters, kernel_size, w_embed = weight.data.shape
+    if w_embed != embed_dim:
+        raise ValueError(f"embedding dim mismatch: input {embed_dim}, weight {w_embed}")
+    if kernel_size > seq_len:
+        raise ValueError(f"kernel size {kernel_size} exceeds sequence length {seq_len}")
+
+    # (batch, T, embed, kernel) -> (batch, T, kernel, embed)
+    windows = sliding_window_view(x.data, kernel_size, axis=1).transpose(0, 1, 3, 2)
+    out_data = np.tensordot(windows, weight.data, axes=([2, 3], [1, 2]))
+    if bias is not None:
+        out_data = out_data + bias.data
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            # (kernel, embed, filters) -> (filters, kernel, embed)
+            grad_w = np.tensordot(windows, grad, axes=([0, 1], [0, 1]))
+            weight._accumulate(grad_w.transpose(2, 0, 1))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 1)))
+        if x.requires_grad:
+            grad_x = np.zeros_like(x.data)
+            t_len = grad.shape[1]
+            for offset in range(kernel_size):
+                # grad (B, T, F) @ weight[:, offset, :] (F, E) -> (B, T, E)
+                grad_x[:, offset : offset + t_len, :] += grad @ weight.data[:, offset, :]
+            x._accumulate(grad_x)
+
+    return Tensor._make(out_data, (x, weight) + ((bias,) if bias is not None else ()), backward)
+
+
+def max_over_time(x: Tensor) -> Tensor:
+    """Max-pool over the sequence axis: ``(B, T, F) -> (B, F)`` (Eq. 6-7)."""
+    return x.max(axis=1)
+
+
+def mean_over_time(x: Tensor, weights: np.ndarray | None = None) -> Tensor:
+    """(Weighted) mean-pool over the sequence axis: ``(B, T, F) -> (B, F)``.
+
+    ``weights`` (shape ``(B, T)``, non-negative) down-weights padded
+    windows. Max pooling keeps only feature *presence*; mean pooling keeps
+    feature *frequency* — e.g. the proportion of positive vs. negative
+    sentiment words in a review document, which encodes a user's rating
+    bias. OmniMatch's extractors use both.
+    """
+    if weights is None:
+        return x.mean(axis=1)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != x.data.shape[:2]:
+        raise ValueError(f"weights shape {weights.shape} != {x.data.shape[:2]}")
+    denom = weights.sum(axis=1, keepdims=True)
+    denom = np.maximum(denom, 1e-9)
+    w = Tensor((weights / denom)[:, :, None])
+    return (x * w).sum(axis=1)
+
+
+class TextConv(Module):
+    """Multi-kernel text CNN: convolve, ReLU, pool, concatenate.
+
+    With kernel sizes ``(3, 4, 5)`` and ``num_filters`` filters each, the
+    output dimension is ``3 * num_filters`` (doubled under ``max_mean``
+    pooling) — the paper's extractor front-end (200 kernels per size in the
+    paper; scaled down here).
+
+    ``pooling``:
+      * ``'max'`` — classic max-over-time (paper Eq. 6-7);
+      * ``'mean'`` — padding-aware mean-over-time;
+      * ``'max_mean'`` — both, concatenated. Presence *and* frequency of
+        n-gram features; frequency carries e.g. a user's sentiment-word mix.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_filters: int,
+        kernel_sizes: tuple[int, ...],
+        rng: np.random.Generator,
+        pooling: str = "max",
+    ) -> None:
+        super().__init__()
+        if not kernel_sizes:
+            raise ValueError("at least one kernel size is required")
+        if pooling not in ("max", "mean", "max_mean"):
+            raise ValueError("pooling must be 'max', 'mean', or 'max_mean'")
+        self.embed_dim = embed_dim
+        self.num_filters = num_filters
+        self.kernel_sizes = tuple(kernel_sizes)
+        self.pooling = pooling
+        for k in self.kernel_sizes:
+            setattr(
+                self,
+                f"weight_k{k}",
+                Parameter(init.xavier_uniform((num_filters, k, embed_dim), rng)),
+            )
+            setattr(self, f"bias_k{k}", Parameter(init.zeros((num_filters,))))
+
+    @property
+    def output_dim(self) -> int:
+        per_pool = 2 if self.pooling == "max_mean" else 1
+        return self.num_filters * len(self.kernel_sizes) * per_pool
+
+    @staticmethod
+    def _window_weights(token_mask: np.ndarray, kernel_size: int) -> np.ndarray:
+        """Fraction of non-pad tokens per convolution window: ``(B, T)``."""
+        windows = sliding_window_view(token_mask, kernel_size, axis=1)
+        return windows.mean(axis=-1)
+
+    def forward(self, x: Tensor, token_mask: np.ndarray | None = None) -> Tensor:
+        pooled = []
+        for k in self.kernel_sizes:
+            weight = getattr(self, f"weight_k{k}")
+            bias = getattr(self, f"bias_k{k}")
+            feature_map = conv1d_text(x, weight, bias).relu()
+            if self.pooling in ("max", "max_mean"):
+                pooled.append(max_over_time(feature_map))
+            if self.pooling in ("mean", "max_mean"):
+                weights = (
+                    self._window_weights(token_mask.astype(np.float64), k)
+                    if token_mask is not None
+                    else None
+                )
+                pooled.append(mean_over_time(feature_map, weights))
+        return concat(pooled, axis=-1)

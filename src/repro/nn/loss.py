@@ -1,0 +1,103 @@
+"""Loss functions: MSE, cross-entropy, and supervised contrastive loss.
+
+The supervised contrastive loss follows Khosla et al. (2020), Eq. 13 of the
+OmniMatch paper: for every anchor, positives are the samples in the batch
+that carry the same label (here: user-item pairs with the same rating, and
+the source/target views of the same user-item pair).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["MSELoss", "CrossEntropyLoss", "SupConLoss", "mse_loss", "cross_entropy", "supcon_loss"]
+
+
+def mse_loss(predicted: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean squared error."""
+    target_data = target.data if isinstance(target, Tensor) else np.asarray(target, dtype=np.float64)
+    diff = predicted - Tensor(target_data)
+    return (diff * diff).mean()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of integer ``labels`` under ``logits``.
+
+    ``logits`` has shape ``(batch, num_classes)``; ``labels`` shape ``(batch,)``.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.data.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if labels.shape != (logits.data.shape[0],):
+        raise ValueError(f"labels shape {labels.shape} incompatible with logits {logits.shape}")
+    log_probs = F.log_softmax(logits, axis=-1)
+    picked = (log_probs * Tensor(F.one_hot(labels, logits.data.shape[1]))).sum(axis=-1)
+    return -picked.mean()
+
+
+def supcon_loss(features: Tensor, labels: np.ndarray, temperature: float = 0.07) -> Tensor:
+    """Supervised contrastive loss (Khosla et al. 2020; paper Eq. 13).
+
+    Parameters
+    ----------
+    features:
+        Projected representations, shape ``(batch, dim)``. They are
+        L2-normalized internally, as is standard for SupCon.
+    labels:
+        Integer labels, shape ``(batch,)``. Samples with equal labels form
+        positive pairs.
+    temperature:
+        The ``tau`` scalar (paper uses 0.07).
+
+    Anchors without any positive in the batch contribute zero, matching the
+    ``1/|P(i)|`` convention with empty positive sets skipped.
+    """
+    labels = np.asarray(labels).reshape(-1)
+    n = features.data.shape[0]
+    if labels.shape[0] != n:
+        raise ValueError("labels must match the batch size")
+    if n < 2:
+        return Tensor(0.0)
+
+    z = F.l2_normalize(features, axis=-1)
+    logits = (z @ z.T) / temperature
+
+    not_self = 1.0 - np.eye(n)
+    pos_mask = (labels[:, None] == labels[None, :]).astype(np.float64) * not_self
+    pos_counts = pos_mask.sum(axis=1)
+    valid = pos_counts > 0
+    if not valid.any():
+        return Tensor(0.0)
+
+    # Exclude self-similarity from the denominator A(i) = I \ {x_i}.
+    masked_logits = logits + Tensor(np.where(not_self > 0, 0.0, -1e9))
+    log_prob = masked_logits - F.logsumexp(masked_logits, axis=1, keepdims=True)
+
+    per_anchor = (log_prob * Tensor(pos_mask)).sum(axis=1) / Tensor(np.maximum(pos_counts, 1.0))
+    weights = valid.astype(np.float64) / valid.sum()
+    return -(per_anchor * Tensor(weights)).sum()
+
+
+class MSELoss(Module):
+    def forward(self, predicted: Tensor, target: np.ndarray | Tensor) -> Tensor:
+        return mse_loss(predicted, target)
+
+
+class CrossEntropyLoss(Module):
+    def forward(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        return cross_entropy(logits, labels)
+
+
+class SupConLoss(Module):
+    def __init__(self, temperature: float = 0.07) -> None:
+        super().__init__()
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.temperature = temperature
+
+    def forward(self, features: Tensor, labels: np.ndarray) -> Tensor:
+        return supcon_loss(features, labels, temperature=self.temperature)

@@ -1,0 +1,161 @@
+"""Optimizers: SGD (momentum), Adam, and Adadelta.
+
+The paper trains OmniMatch with Adadelta (lr = 0.02, rho = 0.95), so
+Adadelta receives a faithful implementation (Zeiler 2012, with the learning
+-rate scaling variant PyTorch uses). SGD and Adam serve the baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "Adadelta", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for divergence diagnostics).
+    """
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((g**2).sum()) for g in grads)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for grad in grads:
+            grad *= scale
+    return total
+
+
+class Optimizer:
+    """Base class holding the parameter list and the zero-grad convenience."""
+
+    def __init__(self, parameters: list[Parameter]) -> None:
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every managed parameter."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the current gradients."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class Adadelta(Optimizer):
+    """Adadelta (Zeiler 2012) — the paper's optimizer (lr=0.02, rho=0.95)."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 0.02,
+        rho: float = 0.95,
+        eps: float = 1e-6,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= rho < 1.0:
+            raise ValueError("rho must be in [0, 1)")
+        self.lr = lr
+        self.rho = rho
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._avg_sq_grad = [np.zeros_like(p.data) for p in self.parameters]
+        self._avg_sq_delta = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, sq_grad, sq_delta in zip(self.parameters, self._avg_sq_grad, self._avg_sq_delta):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            sq_grad *= self.rho
+            sq_grad += (1.0 - self.rho) * grad**2
+            delta = np.sqrt(sq_delta + self.eps) / np.sqrt(sq_grad + self.eps) * grad
+            sq_delta *= self.rho
+            sq_delta += (1.0 - self.rho) * delta**2
+            param.data -= self.lr * delta

@@ -1,0 +1,26 @@
+"""Save / load module parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .module import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: "Module", path: str | os.PathLike) -> None:
+    """Write every named parameter of ``module`` to an ``.npz`` file."""
+    state = module.state_dict()
+    np.savez(path, **state)
+
+
+def load_module(module: "Module", path: str | os.PathLike) -> None:
+    """Restore parameters saved by :func:`save_module` into ``module``."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

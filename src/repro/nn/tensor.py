@@ -1,0 +1,482 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the foundation of the ``repro.nn`` deep-learning substrate.
+The paper's reference implementation uses PyTorch; since PyTorch is not
+available in this environment, we provide a small but complete tape-based
+autograd engine that supports every operation OmniMatch and the baselines
+need: broadcasting arithmetic, matrix products, reductions, indexing /
+embedding gathers, stable softmax building blocks, concatenation, and the
+gradient-reversal trick used by the Domain Adversarial Training Module.
+
+Design notes
+------------
+* A :class:`Tensor` wraps a ``float64`` (default) or ``float32`` numpy array.
+  Each differentiable operation records a backward closure and its parent
+  tensors; :meth:`Tensor.backward` topologically sorts the tape and
+  accumulates gradients into ``.grad`` arrays.
+* Broadcasting is handled by :func:`_unbroadcast`, which sums gradients over
+  broadcast axes so shapes always match their tensors.
+* Gradients are accumulated with ``+=`` so diamond-shaped graphs (a tensor
+  consumed by several ops) are correct.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction (inference mode)."""
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations will be recorded on the autograd tape."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing over broadcast axes."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes that were size 1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor that records operations for backpropagation."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: np.ndarray | float | int | Sequence,
+        requires_grad: bool = False,
+        name: str | None = None,
+    ) -> None:
+        array = np.asarray(data, dtype=np.float64)
+        self.data: np.ndarray = array
+        self.grad: np.ndarray | None = None
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_flag})"
+
+    def item(self) -> float:
+        """Return the scalar value of a size-1 tensor."""
+        return float(self.data.item())
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but severed from the graph."""
+        out = Tensor(self.data)
+        out.data = self.data
+        return out
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(p for p in parents if p.requires_grad)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded tape.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to 1 for scalar tensors.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Tensor | float") -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        return Tensor._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Tensor | float") -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(-grad)
+
+        return Tensor._make(self.data - other.data, (self, other), backward)
+
+    def __rsub__(self, other: "Tensor | float") -> "Tensor":
+        return as_tensor(other) - self
+
+    def __mul__(self, other: "Tensor | float") -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        return Tensor._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Tensor | float") -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data / (other.data**2))
+
+        return Tensor._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other: "Tensor | float") -> "Tensor":
+        return as_tensor(other) / self
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(self.data**exponent, (self,), backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    self._accumulate(np.outer(grad, other.data) if self.data.ndim == 2 else grad * other.data)
+                else:
+                    self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    other._accumulate(np.outer(self.data, grad) if other.data.ndim == 2 else self.data * grad)
+                else:
+                    other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
+
+        return Tensor._make(self.data @ other.data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / (2.0 * out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        """Elementwise max(0, x)."""
+        mask = self.data > 0
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return Tensor._make(self.data * mask, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        """Elementwise logistic sigmoid."""
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        """Elementwise hyperbolic tangent."""
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data**2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value."""
+        sign = np.sign(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * sign)
+
+        return Tensor._make(np.abs(self.data), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all axes when None)."""
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over ``axis`` (all axes when None)."""
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        """Maximum over ``axis``; ties share the gradient equally."""
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        expanded = out_data if keepdims else np.expand_dims(out_data, axis=axis)
+        mask = self.data == expanded
+        # Split gradient among ties so the total gradient is conserved.
+        counts = mask.sum(axis=axis, keepdims=True)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad)
+            if not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(mask * g / counts)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def min(self, axis: int, keepdims: bool = False) -> "Tensor":
+        """Minimum over ``axis`` (implemented as ``-max(-x)``)."""
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        """Reshape to ``shape`` (accepts varargs or a single tuple)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original))
+
+        return Tensor._make(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, axes: tuple[int, ...] | None = None) -> "Tensor":
+        """Permute axes (full reversal when ``axes`` is None)."""
+        if axes is None:
+            axes = tuple(reversed(range(self.data.ndim)))
+        inverse = tuple(np.argsort(axes))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(self.data.transpose(axes), (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return Tensor._make(self.data[index], (self,), backward)
+
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows (axis 0) — the embedding-lookup primitive."""
+        indices = np.asarray(indices)
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, indices.reshape(-1), grad.reshape(-1, self.data.shape[-1]))
+            self._accumulate(full)
+
+        return Tensor._make(self.data[indices], (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Comparisons (non-differentiable, return arrays)
+    # ------------------------------------------------------------------
+    def __gt__(self, other) -> np.ndarray:
+        return self.data > (other.data if isinstance(other, Tensor) else other)
+
+    def __lt__(self, other) -> np.ndarray:
+        return self.data < (other.data if isinstance(other, Tensor) else other)
+
+
+def as_tensor(value: "Tensor | float | int | np.ndarray | Sequence") -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no-op when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def concat(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(slicer)])
+
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.moveaxis(grad, axis, 0)
+        for tensor, piece in zip(tensors, pieces):
+            if tensor.requires_grad:
+                tensor._accumulate(piece)
+
+    data = np.stack([t.data for t in tensors], axis=axis)
+    return Tensor._make(data, tuple(tensors), backward)

@@ -1,0 +1,16 @@
+"""``repro.text`` — tokenization, vocabularies, and offline word embeddings."""
+
+from .embeddings import random_embeddings, train_ppmi_svd_embeddings
+from .tokenize import REVIEW_SEPARATOR, build_document, tokenize
+from .vocab import PAD_TOKEN, UNK_TOKEN, Vocabulary
+
+__all__ = [
+    "tokenize",
+    "build_document",
+    "REVIEW_SEPARATOR",
+    "Vocabulary",
+    "PAD_TOKEN",
+    "UNK_TOKEN",
+    "train_ppmi_svd_embeddings",
+    "random_embeddings",
+]

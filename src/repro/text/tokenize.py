@@ -1,0 +1,46 @@
+"""Tokenization and review-document construction.
+
+The paper (§5.2) lowercases the "review summary" field, strips punctuation,
+and concatenates a user's (or item's) reviews into a single document that is
+then truncated to a fixed token budget. ``<sp>`` separators appear between
+reviews in the paper's case study; we reproduce that convention.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+__all__ = ["tokenize", "build_document", "REVIEW_SEPARATOR"]
+
+REVIEW_SEPARATOR = "<sp>"
+
+_PUNCTUATION = re.compile(r"[^\w\s<>]")
+_WHITESPACE = re.compile(r"\s+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase, strip punctuation, and split on whitespace.
+
+    The ``<sp>`` separator token survives tokenization so review boundaries
+    remain visible to the feature extractor.
+    """
+    lowered = text.lower()
+    cleaned = _PUNCTUATION.sub(" ", lowered)
+    return [tok for tok in _WHITESPACE.split(cleaned) if tok]
+
+
+def build_document(reviews: Iterable[str], max_tokens: int | None = None) -> list[str]:
+    """Concatenate reviews into one token document (paper Eq. 1–2).
+
+    Reviews are joined with the ``<sp>`` separator token; the result is
+    truncated to ``max_tokens`` when given.
+    """
+    tokens: list[str] = []
+    for index, review in enumerate(reviews):
+        if index > 0:
+            tokens.append(REVIEW_SEPARATOR)
+        tokens.extend(tokenize(review))
+        if max_tokens is not None and len(tokens) >= max_tokens:
+            return tokens[:max_tokens]
+    return tokens

@@ -1,0 +1,104 @@
+"""Vocabulary: token <-> integer index mapping with PAD/UNK handling."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Vocabulary", "PAD_TOKEN", "UNK_TOKEN"]
+
+PAD_TOKEN = "<pad>"
+UNK_TOKEN = "<unk>"
+
+
+class Vocabulary:
+    """Frequency-ordered vocabulary built from token streams.
+
+    Index 0 is always ``<pad>`` and index 1 is always ``<unk>``; real tokens
+    start at index 2. Construction is deterministic: ties in frequency are
+    broken alphabetically.
+    """
+
+    def __init__(self, tokens: list[str]) -> None:
+        if tokens[:2] != [PAD_TOKEN, UNK_TOKEN]:
+            raise ValueError("vocabulary must start with PAD and UNK")
+        self._tokens = list(tokens)
+        self._index = {tok: i for i, tok in enumerate(tokens)}
+        if len(self._index) != len(self._tokens):
+            raise ValueError("duplicate tokens in vocabulary")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        documents: Iterable[Iterable[str]],
+        max_size: int | None = None,
+        min_count: int = 1,
+        specials: Iterable[str] = (),
+    ) -> "Vocabulary":
+        """Build from an iterable of token lists, keeping the most frequent.
+
+        ``specials`` are always included (right after PAD/UNK) regardless of
+        corpus frequency — e.g. the ``<sp>`` review separator.
+        """
+        counts: Counter[str] = Counter()
+        for doc in documents:
+            counts.update(doc)
+        specials = [tok for tok in specials if tok not in (PAD_TOKEN, UNK_TOKEN)]
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        kept = [tok for tok, cnt in ranked if cnt >= min_count and tok not in specials]
+        if max_size is not None:
+            kept = kept[: max(0, max_size - 2 - len(specials))]
+        return cls([PAD_TOKEN, UNK_TOKEN] + specials + kept)
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._index
+
+    @property
+    def pad_index(self) -> int:
+        return 0
+
+    @property
+    def unk_index(self) -> int:
+        return 1
+
+    def index_of(self, token: str) -> int:
+        """Index of ``token`` (UNK index when out of vocabulary)."""
+        return self._index.get(token, self.unk_index)
+
+    def token_at(self, index: int) -> str:
+        """Token at ``index``."""
+        return self._tokens[index]
+
+    def encode(self, tokens: Iterable[str], length: int | None = None) -> np.ndarray:
+        """Map tokens to indices; pad or truncate to ``length`` when given."""
+        ids = [self.index_of(tok) for tok in tokens]
+        if length is not None:
+            if len(ids) >= length:
+                ids = ids[:length]
+            else:
+                ids = ids + [self.pad_index] * (length - len(ids))
+        return np.asarray(ids, dtype=np.int64)
+
+    def decode(self, indices: Iterable[int], skip_pad: bool = True) -> list[str]:
+        """Map indices back to tokens, skipping padding by default."""
+        out = []
+        for index in indices:
+            if skip_pad and index == self.pad_index:
+                continue
+            out.append(self._tokens[int(index)])
+        return out
+
+    @property
+    def tokens(self) -> list[str]:
+        return list(self._tokens)

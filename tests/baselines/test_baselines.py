@@ -1,0 +1,179 @@
+"""Contract and behavior tests for all six paper baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CMF,
+    EMCDR,
+    NGCF,
+    PTUPCDR,
+    GlobalMean,
+    HeroGraph,
+    ItemMean,
+    LightGCN,
+    source_triples,
+    visible_target_triples,
+)
+from repro.data import GeneratorConfig, cold_start_split, generate_domain_pair
+from repro.eval.metrics import rmse
+
+ALL_BASELINES = [GlobalMean, ItemMean, CMF, EMCDR, PTUPCDR, NGCF, LightGCN, HeroGraph]
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = generate_domain_pair(
+        "books",
+        "movies",
+        GeneratorConfig(num_users=120, num_items_per_domain=50,
+                        reviews_per_user_mean=6.0, seed=17),
+    )
+    split = cold_start_split(dataset, seed=1)
+    return dataset, split
+
+
+@pytest.fixture(scope="module")
+def fitted_all(world):
+    dataset, split = world
+    fitted = {}
+    for cls in ALL_BASELINES:
+        fitted[cls.__name__] = cls().fit(dataset, split)
+    return fitted
+
+
+class TestVisibilityHelpers:
+    def test_visible_target_excludes_cold(self, world):
+        dataset, split = world
+        cold = set(split.cold_users)
+        triples = visible_target_triples(dataset, split)
+        assert all(u not in cold for u, _, _ in triples)
+
+    def test_visible_target_includes_nonoverlap(self, world):
+        dataset, split = world
+        users = {u for u, _, _ in visible_target_triples(dataset, split)}
+        non_overlap = dataset.target.users - dataset.source.users
+        if non_overlap:
+            assert non_overlap & users
+
+    def test_source_triples_complete(self, world):
+        dataset, _ = world
+        assert len(source_triples(dataset)) == len(dataset.source)
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_predictions_in_rating_range(self, cls, world, fitted_all):
+        dataset, split = world
+        model = fitted_all[cls.__name__]
+        test = split.eval_interactions(dataset, "test")[:40]
+        preds = model.predict_interactions(test)
+        assert ((preds >= 1.0) & (preds <= 5.0)).all()
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_handles_completely_unknown_pair(self, cls, fitted_all):
+        pred = fitted_all[cls.__name__].predict("ghost-user", "ghost-item")
+        assert 1.0 <= pred <= 5.0
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_beats_constant_one(self, cls, world, fitted_all):
+        dataset, split = world
+        model = fitted_all[cls.__name__]
+        test = split.eval_interactions(dataset, "test")
+        actual = np.array([r.rating for r in test])
+        assert rmse(actual, model.predict_interactions(test)) < rmse(
+            actual, np.full_like(actual, 1.0)
+        )
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_name_attribute(self, cls):
+        assert isinstance(cls.name, str) and cls.name
+
+
+class TestColdStartBehaviors:
+    def test_cross_domain_methods_beat_global_mean(self, world, fitted_all):
+        """CMF / EMCDR / HeroGraph see source data and should use it."""
+        dataset, split = world
+        test = split.eval_interactions(dataset, "test")
+        actual = np.array([r.rating for r in test])
+        mean_rmse = rmse(actual, fitted_all["GlobalMean"].predict_interactions(test))
+        hero_rmse = rmse(actual, fitted_all["HeroGraph"].predict_interactions(test))
+        assert hero_rmse < mean_rmse * 1.05  # allow small noise margin
+
+    def test_single_domain_gcn_degenerates_for_cold_users(self, world, fitted_all):
+        """LightGCN's cold-user embeddings are untouched by propagation, so
+        its per-user prediction variance over the same item set must be
+        smaller than a cross-domain method's."""
+        dataset, split = world
+        model = fitted_all["LightGCN"]
+        items = sorted(dataset.target.items)[:20]
+        cold_user = split.test_users[0]
+        node = model.node_index.get(f"u:{cold_user}")
+        # cold users exist in the node table but have no edges
+        assert node is not None
+        adjacency_row = model._adjacency[node]
+        assert adjacency_row.nnz == 0
+
+    def test_herograph_cold_users_have_edges(self, world, fitted_all):
+        dataset, split = world
+        model = fitted_all["HeroGraph"]
+        cold_user = split.test_users[0]
+        node = model.node_index[f"u:{cold_user}"]
+        assert model._adjacency[node].nnz > 0  # source-domain edges exist
+
+    def test_emcdr_maps_cold_user_factor(self, world, fitted_all):
+        dataset, split = world
+        model = fitted_all["EMCDR"]
+        cold_user = split.test_users[0]
+        assert model.target_mf.user_vector(cold_user) is None
+        mapped = model._mapped_vector(cold_user)
+        assert mapped is not None and np.isfinite(mapped).all()
+
+    def test_ptupcdr_personalized_bridges_differ(self, world, fitted_all):
+        dataset, split = world
+        model = fitted_all["PTUPCDR"]
+        u1, u2 = split.test_users[0], split.test_users[1]
+        b1, b2 = model._bridge(u1), model._bridge(u2)
+        assert b1 is not None and b2 is not None
+        assert not np.allclose(b1, b2)
+
+    def test_cmf_shares_user_factors_across_domains(self, world, fitted_all):
+        dataset, split = world
+        model = fitted_all["CMF"]
+        cold_user = split.test_users[0]
+        # the cold user has a factor (learned from source interactions)
+        assert cold_user in model.user_index
+
+    def test_item_mean_damps_toward_global(self, world):
+        dataset, split = world
+        model = ItemMean(damping=1e9).fit(dataset, split)
+        some_item = sorted(dataset.target.items)[0]
+        assert model.predict("anyone", some_item) == pytest.approx(
+            model._global, abs=1e-3
+        )
+
+
+class TestGraphSubstrate:
+    def test_normalized_adjacency_row_scale(self):
+        from repro.baselines import normalized_adjacency
+
+        adj = normalized_adjacency(3, [(0, 1), (1, 2)])
+        # node 1 has degree 2; entry (0,1) = 1/sqrt(1*2)
+        assert adj[0, 1] == pytest.approx(1 / np.sqrt(2))
+        assert adj[0, 2] == 0.0
+
+    def test_normalized_adjacency_empty(self):
+        from repro.baselines import normalized_adjacency
+
+        adj = normalized_adjacency(4, [])
+        assert adj.nnz == 0
+
+    def test_sparse_propagate_gradient(self):
+        import repro.nn as nn
+        from repro.baselines import normalized_adjacency, sparse_propagate
+
+        adj = normalized_adjacency(3, [(0, 1), (1, 2)])
+        x = nn.Tensor(np.ones((3, 2)), requires_grad=True)
+        sparse_propagate(adj, x).sum().backward()
+        expected = adj.T @ np.ones((3, 2))
+        np.testing.assert_allclose(x.grad, expected)

@@ -1,0 +1,87 @@
+"""Unit tests for the biased-MF substrate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BiasedMF, MFConfig
+
+
+def synthetic_triples(num_users=30, num_items=20, seed=0, noise=0.1):
+    """Low-rank world: rating = 3 + b_u + b_i + p.q, clipped to [1, 5]."""
+    rng = np.random.default_rng(seed)
+    p = rng.normal(0, 0.5, (num_users, 4))
+    q = rng.normal(0, 0.5, (num_items, 4))
+    bu = rng.normal(0, 0.3, num_users)
+    bi = rng.normal(0, 0.3, num_items)
+    triples = []
+    for u in range(num_users):
+        for i in rng.choice(num_items, size=12, replace=False):
+            r = 3 + bu[u] + bi[i] + p[u] @ q[i] + rng.normal(0, noise)
+            triples.append((f"u{u}", f"i{i}", float(np.clip(round(r), 1, 5))))
+    return triples
+
+
+class TestFit:
+    def test_empty_triples_rejected(self):
+        with pytest.raises(ValueError):
+            BiasedMF().fit([])
+
+    def test_learns_better_than_global_mean(self):
+        triples = synthetic_triples()
+        mf = BiasedMF(MFConfig(epochs=30, seed=1)).fit(triples)
+        mean = np.mean([t[2] for t in triples])
+        errs_mf, errs_mean = [], []
+        for u, i, r in triples:
+            errs_mf.append((mf.predict(u, i) - r) ** 2)
+            errs_mean.append((mean - r) ** 2)
+        assert np.mean(errs_mf) < 0.7 * np.mean(errs_mean)
+
+    def test_deterministic(self):
+        triples = synthetic_triples()
+        a = BiasedMF(MFConfig(seed=2)).fit(triples)
+        b = BiasedMF(MFConfig(seed=2)).fit(triples)
+        np.testing.assert_allclose(a.user_factors, b.user_factors)
+
+    def test_bias_free_variant(self):
+        triples = synthetic_triples()
+        mf = BiasedMF(MFConfig(use_bias=False, epochs=20)).fit(triples)
+        np.testing.assert_allclose(mf.user_bias, 0.0)
+        np.testing.assert_allclose(mf.item_bias, 0.0)
+
+
+class TestPredict:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        return BiasedMF(MFConfig(epochs=15)).fit(synthetic_triples())
+
+    def test_clipped_to_rating_range(self, fitted):
+        for u, i, _ in synthetic_triples()[:50]:
+            assert 1.0 <= fitted.predict(u, i) <= 5.0
+
+    def test_unknown_user_falls_back_to_item_side(self, fitted):
+        pred = fitted.predict("stranger", "i1")
+        assert 1.0 <= pred <= 5.0
+
+    def test_unknown_item_falls_back_to_user_side(self, fitted):
+        pred = fitted.predict("u1", "mystery-item")
+        assert 1.0 <= pred <= 5.0
+
+    def test_both_unknown_gives_global_mean(self, fitted):
+        assert fitted.predict("x", "y") == pytest.approx(
+            np.clip(fitted.global_mean, 1, 5)
+        )
+
+    def test_external_user_vector_override(self, fitted):
+        item = "i1"
+        override = np.zeros(fitted.config.num_factors)
+        base = fitted.predict("stranger", item, user_vector=override)
+        boosted = fitted.predict(
+            "stranger", item, user_vector=fitted.item_vector(item) * 10
+        )
+        assert boosted != base
+
+    def test_user_item_vector_accessors(self, fitted):
+        assert fitted.user_vector("u1") is not None
+        assert fitted.user_vector("stranger") is None
+        assert fitted.item_vector("i1") is not None
+        assert fitted.item_vector("nope") is None

@@ -1,0 +1,173 @@
+"""Unit tests for the Auxiliary Reviews Generation Module (Algorithm 1)."""
+
+import pytest
+
+from repro.core import AuxiliaryReviewGenerator
+from repro.data import (
+    CrossDomainDataset,
+    DomainData,
+    GeneratorConfig,
+    Review,
+    cold_start_split,
+    generate_domain_pair,
+)
+
+
+def tiny_world():
+    """Hand-built world where Algorithm 1's choices are fully enumerable."""
+    source = DomainData(
+        "books",
+        [
+            Review("cold", "b1", 5.0, "vampire romance"),
+            Review("warm1", "b1", 5.0, "loved the vampires"),
+            Review("warm2", "b1", 4.0, "pretty good"),
+            Review("warm3", "b1", 5.0, "fangs galore"),
+            Review("cold", "b2", 2.0, "boring history"),
+            Review("warm1", "b2", 2.0, "dull chronicle"),
+        ],
+    )
+    target = DomainData(
+        "movies",
+        [
+            Review("warm1", "m1", 5.0, "fang-tastic fun"),
+            Review("warm1", "m2", 4.0, "good adventure"),
+            Review("warm3", "m3", 5.0, "scary and sexy"),
+        ],
+    )
+    return CrossDomainDataset(source, target)
+
+
+class TestAlgorithmOne:
+    def test_borrows_only_from_allowed_users(self):
+        dataset = tiny_world()
+        gen = AuxiliaryReviewGenerator(dataset, allowed_users=["warm1"], seed=0)
+        trace = gen.explain("cold")
+        for selection in trace:
+            if selection.succeeded:
+                assert selection.like_minded_user == "warm1"
+
+    def test_like_minded_requires_same_item_same_rating(self):
+        dataset = tiny_world()
+        gen = AuxiliaryReviewGenerator(
+            dataset, allowed_users=["warm1", "warm2", "warm3"], seed=0
+        )
+        trace = gen.explain("cold")
+        # record (b1, 5.0): warm2 gave 4.0 so can never be selected
+        first = trace[0]
+        assert first.like_minded_user in ("warm1", "warm3")
+
+    def test_borrowed_review_comes_from_target_history(self):
+        dataset = tiny_world()
+        gen = AuxiliaryReviewGenerator(dataset, allowed_users=["warm1", "warm3"], seed=0)
+        target_texts = {r.summary for r in dataset.target.reviews}
+        for review in gen.generate("cold"):
+            assert review in target_texts
+
+    def test_never_selects_self(self):
+        dataset = tiny_world()
+        gen = AuxiliaryReviewGenerator(
+            dataset, allowed_users=["cold", "warm1", "warm3"], seed=0
+        )
+        for selection in gen.explain("cold"):
+            assert selection.like_minded_user != "cold"
+
+    def test_one_selection_per_source_record(self):
+        dataset = tiny_world()
+        gen = AuxiliaryReviewGenerator(dataset, allowed_users=["warm1", "warm3"], seed=0)
+        trace = gen.explain("cold")
+        assert len(trace) == len(dataset.source.reviews_of_user("cold"))
+
+    def test_no_like_minded_user_yields_failure_entry(self):
+        dataset = tiny_world()
+        # warm3 never rated b2 with 2.0, so record b2 must fail
+        gen = AuxiliaryReviewGenerator(dataset, allowed_users=["warm3"], seed=0)
+        trace = gen.explain("cold")
+        b2 = [s for s in trace if s.source_item == "b2"][0]
+        assert not b2.succeeded
+        assert b2.like_minded_user is None
+
+    def test_generate_skips_failures(self):
+        dataset = tiny_world()
+        gen = AuxiliaryReviewGenerator(dataset, allowed_users=["warm3"], seed=0)
+        reviews = gen.generate("cold")
+        assert len(reviews) == 1  # only the b1 record has warm3 as like-minded
+
+    def test_caching_is_stable(self):
+        dataset = tiny_world()
+        gen = AuxiliaryReviewGenerator(
+            dataset, allowed_users=["warm1", "warm3"], seed=0
+        )
+        assert gen.generate("cold") is gen.generate("cold")
+
+    def test_deterministic_given_seed(self):
+        dataset = tiny_world()
+        a = AuxiliaryReviewGenerator(dataset, ["warm1", "warm3"], seed=7).generate("cold")
+        b = AuxiliaryReviewGenerator(dataset, ["warm1", "warm3"], seed=7).generate("cold")
+        assert a == b
+
+    def test_order_independent_determinism(self):
+        """Selections for a user must not depend on which users were
+        processed before them (training-time lazy generation and a fresh
+        generator must agree)."""
+        dataset = tiny_world()
+        gen1 = AuxiliaryReviewGenerator(dataset, ["warm1", "warm3"], seed=7)
+        gen1.generate("warm1")  # consume selections for another user first
+        doc_after_other = gen1.generate("cold")
+        gen2 = AuxiliaryReviewGenerator(dataset, ["warm1", "warm3"], seed=7)
+        assert gen2.generate("cold") == doc_after_other
+
+    def test_explain_idempotent(self):
+        dataset = tiny_world()
+        gen = AuxiliaryReviewGenerator(dataset, ["warm1", "warm3"], seed=7)
+        assert gen.explain("cold") == gen.explain("cold")
+
+    def test_user_without_source_history_gets_empty_doc(self):
+        dataset = tiny_world()
+        gen = AuxiliaryReviewGenerator(dataset, ["warm1"], seed=0)
+        assert gen.generate("nobody") == []
+
+    def test_invalid_field_rejected(self):
+        with pytest.raises(ValueError):
+            AuxiliaryReviewGenerator(tiny_world(), [], field="headline")
+
+    def test_coverage_metric(self):
+        dataset = tiny_world()
+        gen = AuxiliaryReviewGenerator(dataset, ["warm1", "warm3"], seed=0)
+        assert gen.coverage(["cold"]) == 1.0
+        assert gen.coverage([]) == 0.0
+        assert gen.coverage(["nobody"]) == 0.0
+
+
+class TestOnGeneratedWorld:
+    """Protocol-level checks on a realistic generated world."""
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        dataset = generate_domain_pair(
+            "books",
+            "movies",
+            GeneratorConfig(num_users=120, num_items_per_domain=50,
+                            reviews_per_user_mean=6.0, seed=13),
+        )
+        split = cold_start_split(dataset, seed=1)
+        gen = AuxiliaryReviewGenerator(dataset, allowed_users=split.train_users, seed=0)
+        return dataset, split, gen
+
+    def test_never_borrows_cold_users_reviews(self, world):
+        dataset, split, gen = world
+        cold = set(split.cold_users)
+        for user in split.test_users:
+            for selection in gen.explain(user):
+                if selection.succeeded:
+                    assert selection.like_minded_user not in cold
+
+    def test_high_coverage_for_cold_users(self, world):
+        _, split, gen = world
+        assert gen.coverage(split.cold_users) > 0.8
+
+    def test_aux_reviews_are_real_target_reviews(self, world):
+        dataset, split, gen = world
+        target_summaries = {r.summary for r in dataset.target.reviews}
+        for user in split.test_users[:10]:
+            for review in gen.generate(user):
+                assert review in target_summaries

@@ -1,0 +1,70 @@
+"""Tests for model checkpointing (save / reload round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ColdStartPredictor,
+    OmniMatchConfig,
+    OmniMatchTrainer,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.data import GeneratorConfig, cold_start_split, generate_domain_pair
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = generate_domain_pair(
+        "books",
+        "movies",
+        GeneratorConfig(num_users=90, num_items_per_domain=40,
+                        reviews_per_user_mean=5.0, seed=41),
+    )
+    split = cold_start_split(dataset, seed=0)
+    return dataset, split
+
+
+@pytest.fixture(scope="module")
+def trained(world):
+    dataset, split = world
+    config = OmniMatchConfig(
+        embed_dim=16, num_filters=4, kernel_sizes=(2, 3), invariant_dim=8,
+        specific_dim=8, projection_dim=6, doc_len=24, dropout=0.0,
+        epochs=2, early_stopping=False, seed=3,
+    )
+    return OmniMatchTrainer(dataset, split, config).fit()
+
+
+class TestCheckpointRoundTrip:
+    def test_files_written(self, trained, tmp_path):
+        save_checkpoint(trained, tmp_path / "ckpt")
+        assert (tmp_path / "ckpt" / "config.json").exists()
+        assert (tmp_path / "ckpt" / "weights.npz").exists()
+
+    def test_reloaded_predictions_identical(self, world, trained, tmp_path):
+        dataset, split = world
+        save_checkpoint(trained, tmp_path / "ckpt")
+        reloaded = load_checkpoint(tmp_path / "ckpt", dataset, split)
+        test = split.eval_interactions(dataset, "test")[:20]
+        original = ColdStartPredictor(trained).predict_interactions(test)
+        restored = ColdStartPredictor(reloaded).predict_interactions(test)
+        np.testing.assert_allclose(original, restored)
+
+    def test_config_preserved(self, world, trained, tmp_path):
+        dataset, split = world
+        save_checkpoint(trained, tmp_path / "ckpt")
+        reloaded = load_checkpoint(tmp_path / "ckpt", dataset, split)
+        assert reloaded.model.config == trained.model.config
+
+    def test_reloaded_model_in_eval_mode(self, world, trained, tmp_path):
+        dataset, split = world
+        save_checkpoint(trained, tmp_path / "ckpt")
+        reloaded = load_checkpoint(tmp_path / "ckpt", dataset, split)
+        assert not reloaded.model.training
+
+    def test_history_not_persisted(self, world, trained, tmp_path):
+        dataset, split = world
+        save_checkpoint(trained, tmp_path / "ckpt")
+        reloaded = load_checkpoint(tmp_path / "ckpt", dataset, split)
+        assert reloaded.history == []

@@ -1,0 +1,63 @@
+"""Exhaustive OmniMatchConfig validation tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import OmniMatchConfig
+
+
+class TestDefaults:
+    def test_paper_structural_values(self):
+        """The structural hyperparameters follow the paper's §5.4."""
+        config = OmniMatchConfig()
+        assert config.kernel_sizes == (3, 4, 5)
+        assert config.temperature == 0.07
+        assert config.alpha == 0.2
+        assert config.beta == 0.1
+        assert config.batch_size == 64
+        assert config.rho == 0.95
+
+    def test_frozen(self):
+        config = OmniMatchConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.alpha = 0.5
+
+    def test_equality_and_replace(self):
+        a = OmniMatchConfig()
+        b = dataclasses.replace(a, seed=a.seed)
+        assert a == b
+        c = dataclasses.replace(a, alpha=0.9)
+        assert a != c
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(field="headline"),
+        dict(extractor="rnn"),
+        dict(cold_inference="teleport"),
+        dict(alignment_method="ot"),
+        dict(aux_mix_prob=-0.1),
+        dict(aux_mix_prob=1.5),
+        dict(alpha=-0.01),
+        dict(beta=-1.0),
+        dict(kernel_sizes=(0,)),
+        dict(doc_len=2, kernel_sizes=(3,)),
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            OmniMatchConfig(**kwargs)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(field="text"),
+        dict(extractor="transformer"),
+        dict(cold_inference="blend"),
+        dict(cold_inference="aux_only"),
+        dict(alignment_method="mmd"),
+        dict(aux_mix_prob=0.0),
+        dict(aux_mix_prob=1.0),
+        dict(alpha=0.0, beta=0.0),
+        dict(pooling="max"),
+    ])
+    def test_valid_accepted(self, kwargs):
+        OmniMatchConfig(**kwargs)  # must not raise

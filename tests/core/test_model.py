@@ -1,0 +1,150 @@
+"""Unit tests for the assembled OmniMatch model."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.core import RATING_VALUES, OmniMatchConfig, OmniMatchModel
+
+
+def small_config(**overrides):
+    base = dict(embed_dim=16, num_filters=4, kernel_sizes=(2, 3), invariant_dim=8,
+                specific_dim=8, projection_dim=6, doc_len=12, dropout=0.0,
+                vocab_size=40)
+    base.update(overrides)
+    return OmniMatchConfig(**base)
+
+
+def make_model(**overrides):
+    cfg = small_config(**overrides)
+    table = np.random.default_rng(0).normal(0, 0.1, size=(40, cfg.embed_dim))
+    table[0] = 0.0
+    return OmniMatchModel(table, cfg, np.random.default_rng(1)), cfg
+
+
+def batch(n=6, seed=2):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(1, 40, size=(n, 12)),
+        rng.integers(1, 40, size=(n, 12)),
+        rng.integers(1, 40, size=(n, 12)),
+        rng.integers(0, 5, size=n),
+    )
+
+
+class TestConstruction:
+    def test_embedding_dim_mismatch_rejected(self):
+        cfg = small_config()
+        with pytest.raises(ValueError):
+            OmniMatchModel(np.zeros((40, 99)), cfg)
+
+    def test_embedding_frozen(self):
+        model, _ = make_model()
+        names = [n for n, _ in model.named_parameters()]
+        assert not any("embedding" in n for n in names)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            small_config(field="headline")
+        with pytest.raises(ValueError):
+            small_config(extractor="lstm")
+        with pytest.raises(ValueError):
+            small_config(cold_inference="magic")
+        with pytest.raises(ValueError):
+            small_config(alpha=-1.0)
+        with pytest.raises(ValueError):
+            small_config(doc_len=1)
+        with pytest.raises(ValueError):
+            small_config(aux_mix_prob=2.0)
+
+
+class TestLosses:
+    def test_all_terms_finite(self):
+        model, _ = make_model()
+        losses = model.compute_losses(*batch())
+        for key in ("total", "rating", "scl", "domain"):
+            assert np.isfinite(losses[key].item()), key
+
+    def test_total_is_weighted_sum(self):
+        model, cfg = make_model()
+        model.eval()  # deterministic (no dropout)
+        losses = model.compute_losses(*batch())
+        expected = (
+            losses["rating"].item()
+            + cfg.alpha * losses["scl"].item()
+            + cfg.beta * losses["domain"].item()
+        )
+        assert losses["total"].item() == pytest.approx(expected)
+
+    def test_scl_toggle_zeroes_term(self):
+        model, _ = make_model(use_scl=False)
+        assert model.compute_losses(*batch())["scl"].item() == 0.0
+
+    def test_domain_toggle_zeroes_term(self):
+        model, _ = make_model(use_domain_adversarial=False)
+        assert model.compute_losses(*batch())["domain"].item() == 0.0
+
+    def test_backward_reaches_all_extractors(self):
+        model, _ = make_model()
+        model.compute_losses(*batch())["total"].backward()
+        grads = [
+            model.user_extractor.source_encoder.encoder.weight_k2.grad,
+            model.user_extractor.target_encoder.encoder.weight_k2.grad,
+            model.item_extractor.encoder.encoder.weight_k2.grad,
+            model.user_extractor.invariant_head.weight.grad,
+        ]
+        for grad in grads:
+            assert grad is not None and np.abs(grad).sum() > 0
+
+
+class TestPrediction:
+    def test_expected_rating_in_range(self):
+        model, _ = make_model()
+        src, tgt, item, _ = batch(10)
+        preds = model.predict_ratings(tgt, item, source_tokens=src)
+        assert preds.shape == (10,)
+        assert (preds >= RATING_VALUES.min()).all()
+        assert (preds <= RATING_VALUES.max()).all()
+
+    def test_prediction_restores_training_mode(self):
+        model, _ = make_model(dropout=0.3)
+        model.train()
+        src, tgt, item, _ = batch(3)
+        model.predict_ratings(tgt, item, source_tokens=src)
+        assert model.training
+
+    def test_prediction_deterministic_in_eval(self):
+        model, _ = make_model(dropout=0.3)
+        src, tgt, item, _ = batch(4)
+        a = model.predict_ratings(tgt, item, source_tokens=src)
+        b = model.predict_ratings(tgt, item, source_tokens=src)
+        np.testing.assert_allclose(a, b)
+
+    @pytest.mark.parametrize("mode", ["blend", "dual", "aux_only"])
+    def test_all_inference_modes_work(self, mode):
+        model, _ = make_model(cold_inference=mode)
+        src, tgt, item, labels = batch(4)
+        losses = model.compute_losses(src, tgt, item, labels)
+        assert np.isfinite(losses["total"].item())
+        source = src if mode != "aux_only" else None
+        preds = model.predict_ratings(tgt, item, source_tokens=source)
+        assert np.isfinite(preds).all()
+
+    def test_state_dict_roundtrip_preserves_predictions(self):
+        model1, cfg = make_model()
+        model2, _ = make_model()
+        src, tgt, item, _ = batch(4)
+        model2.load_state_dict(model1.state_dict())
+        np.testing.assert_allclose(
+            model1.predict_ratings(tgt, item, source_tokens=src),
+            model2.predict_ratings(tgt, item, source_tokens=src),
+        )
+
+
+class TestTransformerVariant:
+    def test_bert_style_extractor_trains(self):
+        model, _ = make_model(extractor="transformer", transformer_layers=1,
+                              transformer_heads=2)
+        losses = model.compute_losses(*batch(4))
+        losses["total"].backward()
+        assert np.isfinite(losses["total"].item())

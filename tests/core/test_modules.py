@@ -1,0 +1,204 @@
+"""Unit tests for OmniMatch's extractors, contrastive, and adversarial modules."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.core import OmniMatchConfig
+from repro.core.adversarial import DomainAdversary
+from repro.core.contrastive import ContrastiveModule
+from repro.core.extractors import DocumentEncoder, ItemFeatureExtractor, UserFeatureExtractor
+
+
+def small_config(**overrides):
+    base = dict(embed_dim=16, num_filters=4, kernel_sizes=(2, 3), invariant_dim=8,
+                specific_dim=8, projection_dim=6, doc_len=12, dropout=0.0)
+    base.update(overrides)
+    return OmniMatchConfig(**base)
+
+
+@pytest.fixture()
+def embedding():
+    rng = np.random.default_rng(0)
+    return nn.Embedding(30, 16, rng=rng, trainable=False, padding_idx=0)
+
+
+@pytest.fixture()
+def tokens():
+    return np.random.default_rng(1).integers(1, 30, size=(5, 12))
+
+
+class TestDocumentEncoder:
+    def test_cnn_output_dim(self, embedding):
+        enc = DocumentEncoder(embedding, small_config(), np.random.default_rng(0))
+        # max_mean pooling doubles: 4 filters * 2 kernels * 2 pools
+        assert enc.output_dim == 16
+
+    def test_cnn_forward_shape(self, embedding, tokens):
+        enc = DocumentEncoder(embedding, small_config(), np.random.default_rng(0))
+        assert enc(tokens).shape == (5, enc.output_dim)
+
+    def test_transformer_variant(self, embedding, tokens):
+        cfg = small_config(extractor="transformer", transformer_heads=2,
+                           transformer_layers=1)
+        enc = DocumentEncoder(embedding, cfg, np.random.default_rng(0))
+        enc.eval()
+        assert enc(tokens).shape == (5, 16)
+
+    def test_padding_does_not_dominate(self, embedding):
+        cfg = small_config(pooling="mean")
+        enc = DocumentEncoder(embedding, cfg, np.random.default_rng(0))
+        short = np.zeros((1, 12), dtype=np.int64)
+        short[0, :4] = [3, 4, 5, 6]
+        long = np.zeros((1, 12), dtype=np.int64)
+        long[0, :] = list(short[0, :4]) * 3
+        out_short = enc(short).data
+        out_long = enc(long).data
+        # masked mean pooling: repeated content gives (nearly) the same stats
+        assert np.abs(out_short - out_long).mean() < np.abs(out_long).mean()
+
+
+class TestUserFeatureExtractor:
+    def test_invariant_head_is_shared(self, embedding):
+        ext = UserFeatureExtractor(embedding, small_config(), np.random.default_rng(0))
+        # one invariant head object serves both domains: perturbing it changes both
+        ids = np.random.default_rng(2).integers(1, 30, size=(2, 12))
+        src_before = ext.extract_source(ids)[0].data.copy()
+        tgt_before = ext.extract_target(ids)[0].data.copy()
+        ext.invariant_head.weight.data += 1.0
+        assert not np.allclose(ext.extract_source(ids)[0].data, src_before)
+        assert not np.allclose(ext.extract_target(ids)[0].data, tgt_before)
+
+    def test_specific_heads_are_private(self, embedding):
+        ext = UserFeatureExtractor(embedding, small_config(), np.random.default_rng(0))
+        ids = np.random.default_rng(2).integers(1, 30, size=(2, 12))
+        tgt_before = ext.extract_target(ids)[1].data.copy()
+        ext.source_specific_head.weight.data += 1.0
+        np.testing.assert_allclose(ext.extract_target(ids)[1].data, tgt_before)
+
+    def test_encoders_are_private_per_domain(self, embedding):
+        ext = UserFeatureExtractor(embedding, small_config(), np.random.default_rng(0))
+        ids = np.random.default_rng(2).integers(1, 30, size=(2, 12))
+        assert not np.allclose(
+            ext.extract_source(ids)[0].data, ext.extract_target(ids)[0].data
+        )
+
+    def test_combine_concatenates(self):
+        inv = nn.Tensor(np.ones((2, 3)))
+        spec = nn.Tensor(np.zeros((2, 4)))
+        out = UserFeatureExtractor.combine(inv, spec)
+        assert out.shape == (2, 7)
+
+    def test_representation_dim(self, embedding):
+        ext = UserFeatureExtractor(embedding, small_config(), np.random.default_rng(0))
+        assert ext.representation_dim == 16
+
+
+class TestItemFeatureExtractor:
+    def test_output_shape(self, embedding, tokens):
+        ext = ItemFeatureExtractor(embedding, small_config(), np.random.default_rng(0))
+        assert ext(tokens).shape == (5, 8)
+
+
+class TestContrastiveModule:
+    def test_loss_scalar_and_finite(self, embedding):
+        cfg = small_config()
+        rng = np.random.default_rng(0)
+        module = ContrastiveModule(pair_dim=16 + 8, config=cfg, rng=rng)
+        src = nn.Tensor(rng.normal(size=(6, 16)))
+        tgt = nn.Tensor(rng.normal(size=(6, 16)))
+        item = nn.Tensor(rng.normal(size=(6, 8)))
+        loss = module(src, tgt, item, np.array([0, 1, 2, 0, 1, 2]))
+        assert loss.size == 1
+        assert np.isfinite(loss.item())
+
+    def test_training_projection_reduces_loss(self):
+        """Gradient steps on the projection head must reduce the SupCon loss."""
+        cfg = small_config()
+        rng = np.random.default_rng(0)
+        module = ContrastiveModule(pair_dim=24, config=cfg, rng=rng)
+        item = nn.Tensor(rng.normal(size=(8, 8)))
+        labels = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        src = nn.Tensor(rng.normal(size=(8, 16)))
+        tgt = nn.Tensor(rng.normal(size=(8, 16)))
+        optimizer = nn.Adam(module.parameters(), lr=1e-2)
+        first = None
+        for _ in range(40):
+            optimizer.zero_grad()
+            loss = module(src, tgt, item, labels)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first
+
+    def test_project_pairs_shape(self):
+        cfg = small_config()
+        rng = np.random.default_rng(0)
+        module = ContrastiveModule(pair_dim=24, config=cfg, rng=rng)
+        out = module.project_pairs(nn.Tensor(rng.normal(size=(4, 16))),
+                                   nn.Tensor(rng.normal(size=(4, 8))))
+        assert out.shape == (4, cfg.projection_dim)
+
+
+class TestDomainAdversary:
+    def test_loss_finite(self):
+        cfg = small_config()
+        rng = np.random.default_rng(0)
+        adv = DomainAdversary(cfg, rng)
+        s_inv = nn.Tensor(rng.normal(size=(4, 8)))
+        t_inv = nn.Tensor(rng.normal(size=(4, 8)))
+        s_spec = nn.Tensor(rng.normal(size=(4, 8)))
+        t_spec = nn.Tensor(rng.normal(size=(4, 8)))
+        assert np.isfinite(adv(s_inv, t_inv, s_spec, t_spec).item())
+
+    def test_grl_reverses_feature_gradients(self):
+        """Gradients w.r.t. invariant features must push *toward* confusion:
+        train the classifier briefly, then check the feature gradient points
+        opposite to what would reduce the classification loss."""
+        cfg = small_config(grl_lambda=1.0)
+        rng = np.random.default_rng(0)
+        adv = DomainAdversary(cfg, rng)
+        adv.eval()  # no dropout noise
+        s_inv = nn.Tensor(rng.normal(size=(8, 8)), requires_grad=True)
+        t_inv = nn.Tensor(rng.normal(size=(8, 8)) + 3.0, requires_grad=True)
+        s_spec = nn.Tensor(np.zeros((8, 8)))
+        t_spec = nn.Tensor(np.zeros((8, 8)))
+        loss = adv(s_inv, t_inv, s_spec, t_spec)
+        loss.backward()
+        grad_via_grl = s_inv.grad.copy()
+
+        # same forward WITHOUT GRL: gradient through the plain classifier
+        logits = adv.invariant_classifier(nn.Tensor(s_inv.data))
+        plain_in = nn.Tensor(s_inv.data, requires_grad=True)
+        plain_logits = adv.invariant_classifier(plain_in)
+        nn.cross_entropy(plain_logits, np.zeros(8, dtype=np.int64)).backward()
+        # GRL gradient must be anti-parallel to the plain gradient
+        dot = (grad_via_grl * plain_in.grad).sum()
+        assert dot < 0
+
+    def test_specific_path_not_reversed(self):
+        cfg = small_config(grl_lambda=1.0)
+        rng = np.random.default_rng(0)
+        adv = DomainAdversary(cfg, rng)
+        adv.eval()
+        s_spec = nn.Tensor(rng.normal(size=(8, 8)), requires_grad=True)
+        t_spec = nn.Tensor(rng.normal(size=(8, 8)), requires_grad=True)
+        loss = adv(nn.Tensor(np.zeros((8, 8))), nn.Tensor(np.zeros((8, 8))),
+                   s_spec, t_spec)
+        loss.backward()
+
+        plain_in = nn.Tensor(s_spec.data, requires_grad=True)
+        nn.cross_entropy(
+            adv.specific_classifier(plain_in), np.zeros(8, dtype=np.int64)
+        ).backward()
+        dot = (s_spec.grad * plain_in.grad).sum()
+        assert dot > 0  # same direction: not reversed
+
+    def test_domain_accuracy_range(self):
+        cfg = small_config()
+        rng = np.random.default_rng(0)
+        adv = DomainAdversary(cfg, rng)
+        features = nn.Tensor(rng.normal(size=(10, 8)))
+        acc = adv.domain_accuracy(features, np.zeros(10, dtype=np.int64))
+        assert 0.0 <= acc <= 1.0

@@ -1,0 +1,148 @@
+"""Integration-ish tests for the trainer and cold-start predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ColdStartPredictor,
+    OmniMatchConfig,
+    OmniMatchTrainer,
+)
+from repro.data import GeneratorConfig, cold_start_split, generate_domain_pair
+from repro.eval.metrics import rmse
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = generate_domain_pair(
+        "books",
+        "movies",
+        GeneratorConfig(num_users=90, num_items_per_domain=40,
+                        reviews_per_user_mean=5.0, seed=21),
+    )
+    split = cold_start_split(dataset, seed=3)
+    return dataset, split
+
+
+def tiny_config(**overrides):
+    base = dict(embed_dim=16, num_filters=4, kernel_sizes=(2, 3), invariant_dim=8,
+                specific_dim=8, projection_dim=6, doc_len=24, dropout=0.1,
+                vocab_size=300, epochs=3, batch_size=32, early_stopping=False)
+    base.update(overrides)
+    return OmniMatchConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def trained(world):
+    dataset, split = world
+    trainer = OmniMatchTrainer(dataset, split, tiny_config())
+    return trainer.fit()
+
+
+class TestTrainer:
+    def test_history_recorded(self, trained):
+        assert len(trained.history) == 3
+        assert all(np.isfinite(s.total) for s in trained.history)
+
+    def test_loss_decreases(self, world):
+        dataset, split = world
+        result = OmniMatchTrainer(dataset, split, tiny_config(epochs=6)).fit()
+        assert result.history[-1].rating < result.history[0].rating
+
+    def test_train_seconds_positive(self, trained):
+        assert trained.train_seconds > 0
+
+    def test_model_left_in_eval_mode(self, trained):
+        assert not trained.model.training
+
+    def test_early_stopping_restores_best(self, world):
+        dataset, split = world
+        config = tiny_config(epochs=8, early_stopping=True, patience=2)
+        trainer = OmniMatchTrainer(dataset, split, config)
+        result = trainer.fit()
+        recorded = [s.valid_rmse for s in result.history if s.valid_rmse is not None]
+        assert recorded
+        # the restored model must reproduce (approximately) the best epoch
+        predictor = ColdStartPredictor(result)
+        valid = split.eval_interactions(dataset, "valid")
+        actual = np.array([r.rating for r in valid])
+        final = rmse(actual, predictor.predict_interactions(valid))
+        assert final == pytest.approx(min(recorded), abs=1e-6)
+
+    def test_early_stopping_halts_before_max(self, world):
+        dataset, split = world
+        config = tiny_config(epochs=50, early_stopping=True, patience=1)
+        result = OmniMatchTrainer(dataset, split, config).fit()
+        assert len(result.history) < 50
+
+    def test_validate_every_records(self, world):
+        dataset, split = world
+        trainer = OmniMatchTrainer(dataset, split, tiny_config(epochs=4))
+        result = trainer.fit(validate_every=2)
+        assert result.history[1].valid_rmse is not None
+        assert result.history[0].valid_rmse is None
+
+    def test_deterministic_given_seed(self, world):
+        dataset, split = world
+        r1 = OmniMatchTrainer(dataset, split, tiny_config(seed=4)).fit()
+        r2 = OmniMatchTrainer(dataset, split, tiny_config(seed=4)).fit()
+        assert r1.history[-1].total == pytest.approx(r2.history[-1].total)
+
+    def test_adam_optimizer_option(self, world):
+        dataset, split = world
+        result = OmniMatchTrainer(
+            dataset, split, tiny_config(epochs=2, optimizer="adam")
+        ).fit()
+        assert len(result.history) == 2
+
+
+class TestColdStartPredictor:
+    def test_predictions_for_cold_users(self, world, trained):
+        dataset, split = world
+        predictor = ColdStartPredictor(trained)
+        test = split.eval_interactions(dataset, "test")
+        preds = predictor.predict_interactions(test)
+        assert preds.shape == (len(test),)
+        assert ((preds >= 1.0) & (preds <= 5.0)).all()
+
+    def test_beats_worst_case_constant(self, world, trained):
+        dataset, split = world
+        predictor = ColdStartPredictor(trained)
+        test = split.eval_interactions(dataset, "test")
+        actual = np.array([r.rating for r in test])
+        model_rmse = rmse(actual, predictor.predict_interactions(test))
+        assert model_rmse < rmse(actual, np.full_like(actual, 1.0))
+
+    def test_warm_user_uses_real_target_doc(self, world, trained):
+        dataset, split = world
+        predictor = ColdStartPredictor(trained)
+        u = split.train_users[0]
+        doc = predictor._target_doc(u)
+        np.testing.assert_array_equal(doc, trained.store.user_target_doc(u))
+
+    def test_cold_user_uses_auxiliary_doc(self, world, trained):
+        dataset, split = world
+        predictor = ColdStartPredictor(trained)
+        u = split.test_users[0]
+        reviews = trained.aux_generator.generate(u)
+        assert reviews  # coverage is high in this world
+        expected = trained.store.encode_reviews(reviews)
+        np.testing.assert_array_equal(predictor._target_doc(u), expected)
+
+    def test_without_aux_falls_back_to_source_doc(self, world):
+        dataset, split = world
+        config = tiny_config(epochs=1, use_auxiliary_reviews=False)
+        result = OmniMatchTrainer(dataset, split, config).fit()
+        predictor = ColdStartPredictor(result)
+        u = split.test_users[0]
+        np.testing.assert_array_equal(
+            predictor._target_doc(u), result.store.user_source_doc(u)
+        )
+
+    def test_predict_pairs_matches_interactions(self, world, trained):
+        dataset, split = world
+        predictor = ColdStartPredictor(trained)
+        test = split.eval_interactions(dataset, "test")[:5]
+        a = predictor.predict_interactions(test)
+        b = predictor.predict_pairs([(r.user_id, r.item_id) for r in test])
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,108 @@
+"""White-box tests of the trainer's document-augmentation machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import OmniMatchConfig, OmniMatchTrainer
+from repro.data import GeneratorConfig, cold_start_split, generate_domain_pair
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = generate_domain_pair(
+        "books",
+        "movies",
+        GeneratorConfig(num_users=90, num_items_per_domain=40,
+                        reviews_per_user_mean=5.0, seed=51),
+    )
+    split = cold_start_split(dataset, seed=0)
+    return dataset, split
+
+
+def make_trainer(world, **overrides):
+    dataset, split = world
+    base = dict(embed_dim=16, num_filters=4, kernel_sizes=(2, 3), invariant_dim=8,
+                specific_dim=8, projection_dim=6, doc_len=24, vocab_size=300,
+                epochs=1, early_stopping=False)
+    base.update(overrides)
+    return OmniMatchTrainer(dataset, split, OmniMatchConfig(**base))
+
+
+class TestBatchArrays:
+    def test_shapes_aligned(self, world):
+        dataset, split = world
+        trainer = make_trainer(world)
+        batch = split.train_interactions(dataset)[:10]
+        src, tgt, item, labels = trainer._batch_arrays(batch)
+        assert src.shape == tgt.shape == item.shape == (10, 24)
+        assert labels.shape == (10,)
+        assert labels.dtype == np.int64
+
+    def test_labels_zero_based(self, world):
+        dataset, split = world
+        trainer = make_trainer(world)
+        batch = split.train_interactions(dataset)[:50]
+        _, _, _, labels = trainer._batch_arrays(batch)
+        assert labels.min() >= 0 and labels.max() <= 4
+
+    def test_target_dropout_produces_empty_docs(self, world):
+        dataset, split = world
+        trainer = make_trainer(world, target_dropout_prob=1.0, aux_mix_prob=0.0)
+        batch = split.train_interactions(dataset)[:10]
+        _, tgt, _, _ = trainer._batch_arrays(batch)
+        np.testing.assert_allclose(tgt, 0)
+
+    def test_full_aux_mix_uses_auxiliary_docs(self, world):
+        dataset, split = world
+        trainer = make_trainer(world, target_dropout_prob=0.0, aux_mix_prob=1.0)
+        batch = split.train_interactions(dataset)[:10]
+        _, tgt, _, _ = trainer._batch_arrays(batch)
+        for interaction, doc in zip(batch, tgt):
+            expected = trainer._auxiliary_doc(interaction.user_id)
+            np.testing.assert_array_equal(doc, expected)
+
+    def test_no_augmentation_uses_real_docs(self, world):
+        dataset, split = world
+        trainer = make_trainer(world, target_dropout_prob=0.0, aux_mix_prob=0.0)
+        batch = split.train_interactions(dataset)[:10]
+        _, tgt, _, _ = trainer._batch_arrays(batch)
+        for interaction, doc in zip(batch, tgt):
+            np.testing.assert_array_equal(
+                doc, trainer.store.user_target_doc(interaction.user_id)
+            )
+
+    def test_aux_disabled_never_mixes(self, world):
+        dataset, split = world
+        trainer = make_trainer(
+            world, use_auxiliary_reviews=False, aux_mix_prob=1.0,
+            target_dropout_prob=0.0,
+        )
+        batch = split.train_interactions(dataset)[:10]
+        _, tgt, _, _ = trainer._batch_arrays(batch)
+        for interaction, doc in zip(batch, tgt):
+            np.testing.assert_array_equal(
+                doc, trainer.store.user_target_doc(interaction.user_id)
+            )
+
+    def test_aux_doc_cached(self, world):
+        dataset, split = world
+        trainer = make_trainer(world)
+        user = split.train_users[0]
+        assert trainer._auxiliary_doc(user) is trainer._auxiliary_doc(user)
+
+
+class TestTrainerErrors:
+    def test_empty_train_set_raises(self, world):
+        dataset, split = world
+        trainer = make_trainer(world)
+        # sabotage: a split whose train users have no target reviews
+        from repro.data.split import ColdStartSplit
+
+        bad_split = ColdStartSplit(
+            train_users=("nonexistent-user",),
+            valid_users=split.valid_users,
+            test_users=split.test_users,
+        )
+        trainer.split = bad_split
+        with pytest.raises(ValueError):
+            trainer.fit()

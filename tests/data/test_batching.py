@@ -1,0 +1,138 @@
+"""Unit tests for the document store (visibility!) and batch iteration."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DocumentStore,
+    GeneratorConfig,
+    cold_start_split,
+    generate_domain_pair,
+    iter_batches,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = generate_domain_pair(
+        "books",
+        "movies",
+        GeneratorConfig(num_users=100, num_items_per_domain=40,
+                        reviews_per_user_mean=5.0, seed=9),
+    )
+    split = cold_start_split(dataset, seed=2)
+    store = DocumentStore(dataset, split, doc_len=32, vocab_size=500)
+    return dataset, split, store
+
+
+class TestVisibilityRules:
+    def test_cold_user_target_doc_blocked(self, world):
+        _, split, store = world
+        with pytest.raises(KeyError):
+            store.user_target_doc(split.test_users[0])
+
+    def test_cold_user_source_doc_available(self, world):
+        _, split, store = world
+        doc = store.user_source_doc(split.test_users[0])
+        assert doc.shape == (32,)
+        assert doc.sum() > 0  # not all padding
+
+    def test_train_user_target_doc_available(self, world):
+        _, split, store = world
+        assert store.user_target_doc(split.train_users[0]).shape == (32,)
+
+    def test_item_docs_exclude_cold_reviews(self, world):
+        dataset, split, _ = world
+        cold = set(split.cold_users)
+        # rebuild a store with a tiny doc budget to inspect encoded text
+        store = DocumentStore(dataset, split, doc_len=512, vocab_size=2000)
+        # pick an item reviewed by a cold user with a distinctive check:
+        # decoding the item doc must only contain tokens from visible reviews
+        for item in sorted(dataset.target.items):
+            reviews = dataset.target.reviews_of_item(item)
+            cold_reviews = [r for r in reviews if r.user_id in cold]
+            visible = [r for r in reviews if r.user_id not in cold]
+            if cold_reviews and visible:
+                doc_tokens = store.vocab.decode(store.item_doc(item))
+                visible_words = set()
+                for r in visible:
+                    visible_words.update(r.summary.split())
+                visible_words.add("<sp>")
+                unk = store.vocab.token_at(store.vocab.unk_index)
+                for tok in doc_tokens:
+                    assert tok in visible_words or tok == unk
+                return
+        pytest.skip("no item with both cold and visible reviews in this world")
+
+    def test_vocab_excludes_cold_target_text(self, world):
+        dataset, split, store = world
+        corpus_size = len(store.visible_token_documents())
+        cold = set(split.cold_users)
+        hidden = sum(1 for r in dataset.target.reviews if r.user_id in cold)
+        assert corpus_size == len(dataset.source.reviews) + len(dataset.target.reviews) - hidden
+
+
+class TestEncoding:
+    def test_fixed_length(self, world):
+        _, _, store = world
+        assert store.encode_reviews(["one short review"]).shape == (32,)
+
+    def test_empty_reviews_all_pad(self, world):
+        _, _, store = world
+        np.testing.assert_allclose(store.encode_reviews([]), 0)
+
+    def test_caching_returns_same_array(self, world):
+        _, split, store = world
+        u = split.train_users[0]
+        assert store.user_source_doc(u) is store.user_source_doc(u)
+
+    def test_separator_encoded_not_unk(self, world):
+        _, _, store = world
+        ids = store.encode_reviews(["first", "second"])
+        assert store.vocab.index_of("<sp>") in ids.tolist()
+        assert store.vocab.index_of("<sp>") != store.vocab.unk_index
+
+    def test_invalid_field_rejected(self, world):
+        dataset, split, _ = world
+        with pytest.raises(ValueError):
+            DocumentStore(dataset, split, field="title")
+
+    def test_text_field_gives_different_docs(self, world):
+        dataset, split, _ = world
+        summary_store = DocumentStore(dataset, split, doc_len=32, field="summary")
+        text_store = DocumentStore(dataset, split, doc_len=32, field="text")
+        u = split.train_users[0]
+        assert not np.array_equal(
+            summary_store.user_source_doc(u), text_store.user_source_doc(u)
+        )
+
+
+class TestIterBatches:
+    def test_covers_all_items_once(self):
+        items = list(range(25))
+        rng = np.random.default_rng(0)
+        seen = []
+        for batch in iter_batches(items, 4, rng):
+            seen.extend(batch)
+        assert sorted(seen) == items
+
+    def test_batch_sizes(self):
+        rng = np.random.default_rng(0)
+        sizes = [len(b) for b in iter_batches(list(range(10)), 4, rng)]
+        assert sizes == [4, 4, 2]
+
+    def test_shuffle_changes_order(self):
+        items = list(range(100))
+        a = [x for b in iter_batches(items, 10, np.random.default_rng(1)) for x in b]
+        b = [x for b in iter_batches(items, 10, np.random.default_rng(2)) for x in b]
+        assert a != b
+
+    def test_no_shuffle_preserves_order(self):
+        items = list(range(10))
+        rng = np.random.default_rng(0)
+        flat = [x for b in iter_batches(items, 3, rng, shuffle=False) for x in b]
+        assert flat == items
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iter_batches([1], 0, np.random.default_rng(0)))

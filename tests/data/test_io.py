@@ -1,0 +1,133 @@
+"""Tests for JSON-lines dataset import/export."""
+
+import json
+
+import pytest
+
+from repro.data import (
+    DomainData,
+    Review,
+    load_cross_domain_jsonl,
+    load_domain_jsonl,
+    save_domain_jsonl,
+)
+
+
+def write_jsonl(path, records):
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+AMAZON_RECORDS = [
+    {"reviewerID": "u1", "asin": "b1", "overall": 5.0,
+     "summary": "Vampire Romance", "reviewText": "long text about vampires"},
+    {"reviewerID": "u2", "asin": "b1", "overall": 4.0,
+     "summary": "pretty good", "reviewText": ""},
+    {"reviewerID": "u1", "asin": "b2", "overall": 3.0,
+     "summary": "", "reviewText": ""},  # no review: dropped by default
+]
+
+
+class TestLoadDomain:
+    def test_loads_amazon_format(self, tmp_path):
+        path = tmp_path / "books.jsonl"
+        write_jsonl(path, AMAZON_RECORDS)
+        domain = load_domain_jsonl(path, "books")
+        assert domain.name == "books"
+        assert len(domain) == 2  # empty-review record dropped
+        assert domain.reviews[0].summary == "Vampire Romance"
+
+    def test_keep_empty_reviews_flag(self, tmp_path):
+        path = tmp_path / "books.jsonl"
+        write_jsonl(path, AMAZON_RECORDS)
+        domain = load_domain_jsonl(path, "books", drop_empty_reviews=False)
+        assert len(domain) == 3
+
+    def test_rating_rounded_and_clipped(self, tmp_path):
+        path = tmp_path / "d.jsonl"
+        write_jsonl(path, [
+            {"reviewerID": "u", "asin": "i", "overall": 4.6, "summary": "x",
+             "reviewText": "y"},
+            {"reviewerID": "u", "asin": "j", "overall": 9.0, "summary": "x",
+             "reviewText": "y"},
+        ])
+        domain = load_domain_jsonl(path, "d")
+        assert domain.reviews[0].rating == 5.0
+        assert domain.reviews[1].rating == 5.0
+
+    def test_custom_field_mapping(self, tmp_path):
+        path = tmp_path / "douban.jsonl"
+        write_jsonl(path, [
+            {"user": "u1", "movie": "m1", "stars": 4, "short": "nice film",
+             "long": "body"},
+        ])
+        domain = load_domain_jsonl(
+            path, "movies",
+            fields={"user_id": "user", "item_id": "movie", "rating": "stars",
+                    "summary": "short", "text": "long"},
+        )
+        assert domain.reviews[0].user_id == "u1"
+        assert domain.reviews[0].summary == "nice film"
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"reviewerID": "u"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2"):
+            load_domain_jsonl(path, "d")
+
+    def test_summary_falls_back_to_text(self, tmp_path):
+        path = tmp_path / "d.jsonl"
+        write_jsonl(path, [
+            {"reviewerID": "u", "asin": "i", "overall": 3,
+             "summary": "", "reviewText": "only a body"},
+        ])
+        domain = load_domain_jsonl(path, "d")
+        assert domain.reviews[0].summary == "only a body"
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        original = DomainData("books", [
+            Review("u1", "i1", 5.0, "great", "really great"),
+            Review("u2", "i2", 2.0, "weak", "quite weak indeed"),
+        ])
+        path = tmp_path / "out.jsonl"
+        save_domain_jsonl(original, path)
+        reloaded = load_domain_jsonl(path, "books")
+        assert len(reloaded) == 2
+        assert reloaded.reviews[0].summary == "great"
+        assert reloaded.reviews[1].rating == 2.0
+
+
+class TestCrossDomain:
+    def test_overlap_only_filter(self, tmp_path):
+        src = tmp_path / "src.jsonl"
+        tgt = tmp_path / "tgt.jsonl"
+        write_jsonl(src, [
+            {"reviewerID": "shared", "asin": "b1", "overall": 5, "summary": "s",
+             "reviewText": "t"},
+            {"reviewerID": "src-only", "asin": "b2", "overall": 4, "summary": "s",
+             "reviewText": "t"},
+        ])
+        write_jsonl(tgt, [
+            {"reviewerID": "shared", "asin": "m1", "overall": 3, "summary": "s",
+             "reviewText": "t"},
+            {"reviewerID": "tgt-only", "asin": "m2", "overall": 2, "summary": "s",
+             "reviewText": "t"},
+        ])
+        dataset = load_cross_domain_jsonl(src, tgt, "books", "movies",
+                                          overlap_only=True)
+        assert dataset.source.users == {"shared"}
+        assert dataset.target.users == {"shared"}
+
+    def test_without_filter_keeps_everyone(self, tmp_path):
+        src = tmp_path / "src.jsonl"
+        tgt = tmp_path / "tgt.jsonl"
+        write_jsonl(src, [{"reviewerID": "a", "asin": "b1", "overall": 5,
+                           "summary": "s", "reviewText": "t"}])
+        write_jsonl(tgt, [{"reviewerID": "b", "asin": "m1", "overall": 3,
+                           "summary": "s", "reviewText": "t"}])
+        dataset = load_cross_domain_jsonl(src, tgt, "books", "movies")
+        assert dataset.overlapping_users == set()
+        assert dataset.source.users == {"a"}

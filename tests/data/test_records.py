@@ -1,0 +1,91 @@
+"""Unit tests for review records and domain indexes."""
+
+import pytest
+
+from repro.data import CrossDomainDataset, DomainData, Review
+
+
+def make_reviews():
+    return [
+        Review("u1", "i1", 5.0, "great book", "really a great book overall"),
+        Review("u1", "i2", 3.0, "okay read"),
+        Review("u2", "i1", 5.0, "loved it"),
+        Review("u3", "i1", 2.0, "weak plot"),
+    ]
+
+
+class TestReview:
+    def test_rating_validation(self):
+        with pytest.raises(ValueError):
+            Review("u", "i", 3.5, "half stars not allowed")
+        with pytest.raises(ValueError):
+            Review("u", "i", 0.0, "zero")
+
+    def test_rating_index_zero_based(self):
+        assert Review("u", "i", 1.0, "x").rating_index == 0
+        assert Review("u", "i", 5.0, "x").rating_index == 4
+
+    def test_frozen(self):
+        review = Review("u", "i", 4.0, "x")
+        with pytest.raises(AttributeError):
+            review.rating = 5.0
+
+
+class TestDomainData:
+    def test_by_user_index(self):
+        domain = DomainData("books", make_reviews())
+        assert len(domain.reviews_of_user("u1")) == 2
+        assert domain.reviews_of_user("missing") == []
+
+    def test_by_item_index(self):
+        domain = DomainData("books", make_reviews())
+        assert len(domain.reviews_of_item("i1")) == 3
+
+    def test_like_minded_index(self):
+        domain = DomainData("books", make_reviews())
+        assert sorted(domain.like_minded_users("i1", 5.0)) == ["u1", "u2"]
+        assert domain.like_minded_users("i1", 2.0) == ["u3"]
+        assert domain.like_minded_users("i1", 4.0) == []
+
+    def test_users_items_sets(self):
+        domain = DomainData("books", make_reviews())
+        assert domain.users == {"u1", "u2", "u3"}
+        assert domain.items == {"i1", "i2"}
+
+    def test_summaries_and_texts(self):
+        domain = DomainData("books", make_reviews())
+        assert domain.user_summaries("u1") == ["great book", "okay read"]
+        # text falls back to summary when empty
+        assert domain.user_texts("u1")[1] == "okay read"
+        assert domain.item_summaries("i1") == ["great book", "loved it", "weak plot"]
+
+    def test_density(self):
+        domain = DomainData("books", make_reviews())
+        assert domain.density() == pytest.approx(4 / (3 * 2))
+
+    def test_empty_domain(self):
+        domain = DomainData("books", [])
+        assert len(domain) == 0
+        assert domain.density() == 0.0
+
+
+class TestCrossDomainDataset:
+    def test_overlapping_users(self):
+        src = DomainData("books", make_reviews())
+        tgt = DomainData(
+            "movies", [Review("u1", "m1", 4.0, "fun"), Review("u9", "m1", 2.0, "dull")]
+        )
+        dataset = CrossDomainDataset(src, tgt)
+        assert dataset.overlapping_users == {"u1"}
+
+    def test_scenario_string(self):
+        dataset = CrossDomainDataset(DomainData("books", []), DomainData("movies", []))
+        assert dataset.scenario == "books -> movies"
+
+    def test_summary_keys(self):
+        src = DomainData("books", make_reviews())
+        tgt = DomainData("movies", [Review("u1", "m1", 4.0, "fun")])
+        card = CrossDomainDataset(src, tgt).summary()
+        assert card["overlap_users"] == 1
+        assert card["source_reviews"] == 4
+        assert card["target_items"] == 1

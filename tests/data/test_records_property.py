@@ -1,0 +1,79 @@
+"""Property-based tests: DomainData index invariants under arbitrary inputs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import CrossDomainDataset, DomainData, Review
+
+ratings = st.sampled_from([1.0, 2.0, 3.0, 4.0, 5.0])
+user_ids = st.sampled_from([f"u{i}" for i in range(8)])
+item_ids = st.sampled_from([f"i{i}" for i in range(6)])
+
+reviews = st.builds(
+    Review,
+    user_id=user_ids,
+    item_id=item_ids,
+    rating=ratings,
+    summary=st.text(alphabet="abcde ", min_size=1, max_size=20),
+)
+
+review_lists = st.lists(reviews, min_size=0, max_size=40)
+
+
+class TestIndexInvariants:
+    @given(review_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_by_user_partitions_reviews(self, rs):
+        domain = DomainData("d", rs)
+        total = sum(len(v) for v in domain.by_user.values())
+        assert total == len(rs)
+
+    @given(review_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_by_item_partitions_reviews(self, rs):
+        domain = DomainData("d", rs)
+        total = sum(len(v) for v in domain.by_item.values())
+        assert total == len(rs)
+
+    @given(review_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_like_minded_index_consistent(self, rs):
+        domain = DomainData("d", rs)
+        for review in rs:
+            pool = domain.like_minded_users(review.item_id, review.rating)
+            assert review.user_id in pool
+
+    @given(review_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_like_minded_entries_are_real_reviews(self, rs):
+        domain = DomainData("d", rs)
+        for (item, rating), users in domain.like_minded.items():
+            for user in users:
+                assert any(
+                    r.item_id == item and r.rating == rating
+                    for r in domain.reviews_of_user(user)
+                )
+
+    @given(review_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_users_match_by_user_keys(self, rs):
+        domain = DomainData("d", rs)
+        assert domain.users == set(domain.by_user)
+
+    @given(review_lists, review_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_overlap_is_intersection(self, source_reviews, target_reviews):
+        dataset = CrossDomainDataset(
+            DomainData("s", source_reviews), DomainData("t", target_reviews)
+        )
+        expected = {r.user_id for r in source_reviews} & {
+            r.user_id for r in target_reviews
+        }
+        assert dataset.overlapping_users == expected
+
+    @given(review_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_density_bounds(self, rs):
+        domain = DomainData("d", rs)
+        assert 0.0 <= domain.density() <= 1.0 or len(rs) > len(domain.users) * len(domain.items)

@@ -1,0 +1,123 @@
+"""Unit and property tests for the cold-start split protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import GeneratorConfig, cold_start_split, generate_domain_pair
+
+
+def dataset(seed=5):
+    return generate_domain_pair(
+        "books",
+        "movies",
+        GeneratorConfig(num_users=100, num_items_per_domain=40,
+                        reviews_per_user_mean=5.0, seed=seed),
+    )
+
+
+class TestProtocolInvariants:
+    def test_partitions_are_disjoint(self):
+        split = cold_start_split(dataset(), seed=0)
+        train = set(split.train_users)
+        valid = set(split.valid_users)
+        test = set(split.test_users)
+        assert not train & valid
+        assert not train & test
+        assert not valid & test
+
+    def test_all_users_are_overlapping(self):
+        ds = dataset()
+        split = cold_start_split(ds, seed=0)
+        overlap = ds.overlapping_users
+        for user in split.train_users + split.valid_users + split.test_users:
+            assert user in overlap
+
+    def test_cold_fraction_default(self):
+        ds = dataset()
+        split = cold_start_split(ds, seed=0)
+        total = len(ds.overlapping_users)
+        cold = len(split.cold_users)
+        assert abs(cold - 0.2 * total) <= 2
+
+    def test_validation_test_halves(self):
+        split = cold_start_split(dataset(), seed=0)
+        assert abs(len(split.valid_users) - len(split.test_users)) <= 1
+
+    def test_deterministic_given_seed(self):
+        ds = dataset()
+        a = cold_start_split(ds, seed=3)
+        b = cold_start_split(ds, seed=3)
+        assert a.train_users == b.train_users
+        assert a.test_users == b.test_users
+
+    def test_different_seed_differs(self):
+        ds = dataset()
+        a = cold_start_split(ds, seed=3)
+        b = cold_start_split(ds, seed=4)
+        assert a.test_users != b.test_users
+
+    def test_train_fraction_reduces_train_only(self):
+        ds = dataset()
+        full = cold_start_split(ds, seed=0, train_fraction=1.0)
+        half = cold_start_split(ds, seed=0, train_fraction=0.5)
+        assert abs(len(half.train_users) - len(full.train_users) / 2) <= 1
+        # evaluation population unchanged (Table 4 requirement)
+        assert half.test_users == full.test_users
+        assert half.valid_users == full.valid_users
+
+    def test_invalid_fractions(self):
+        ds = dataset()
+        with pytest.raises(ValueError):
+            cold_start_split(ds, cold_fraction=0.0)
+        with pytest.raises(ValueError):
+            cold_start_split(ds, cold_fraction=1.0)
+        with pytest.raises(ValueError):
+            cold_start_split(ds, train_fraction=0.0)
+
+    def test_too_few_overlap_users(self):
+        from repro.data import CrossDomainDataset, DomainData, Review
+
+        src = DomainData("books", [Review("u1", "i1", 5.0, "x")])
+        tgt = DomainData("movies", [Review("u1", "m1", 5.0, "x")])
+        with pytest.raises(ValueError):
+            cold_start_split(CrossDomainDataset(src, tgt))
+
+    @given(st.integers(0, 50), st.sampled_from([1.0, 0.8, 0.5, 0.2]))
+    @settings(max_examples=15, deadline=None)
+    def test_property_counts_consistent(self, seed, fraction):
+        ds = dataset()
+        split = cold_start_split(ds, seed=seed, train_fraction=fraction)
+        assert len(split.train_users) >= 1
+        assert len(split.cold_users) == len(split.valid_users) + len(split.test_users)
+
+
+class TestEvalInteractions:
+    def test_eval_interactions_belong_to_subset_users(self):
+        ds = dataset()
+        split = cold_start_split(ds, seed=0)
+        test_users = set(split.test_users)
+        for review in split.eval_interactions(ds, "test"):
+            assert review.user_id in test_users
+
+    def test_eval_interactions_are_target_domain(self):
+        ds = dataset()
+        split = cold_start_split(ds, seed=0)
+        target_items = ds.target.items
+        for review in split.eval_interactions(ds, "valid"):
+            assert review.item_id in target_items
+
+    def test_invalid_subset_rejected(self):
+        ds = dataset()
+        split = cold_start_split(ds, seed=0)
+        with pytest.raises(ValueError):
+            split.eval_interactions(ds, "train")
+
+    def test_train_interactions_from_train_users(self):
+        ds = dataset()
+        split = cold_start_split(ds, seed=0)
+        train_users = set(split.train_users)
+        interactions = split.train_interactions(ds)
+        assert interactions
+        assert all(r.user_id in train_users for r in interactions)

@@ -1,0 +1,65 @@
+"""Tests for dataset statistics."""
+
+import pytest
+
+from repro.data import (
+    CrossDomainDataset,
+    DomainData,
+    Review,
+    cross_domain_stats,
+    domain_stats,
+    format_stats,
+)
+
+
+def make_domain():
+    return DomainData("books", [
+        Review("u1", "i1", 5.0, "a"),
+        Review("u1", "i2", 3.0, "b"),
+        Review("u2", "i1", 5.0, "c"),
+    ])
+
+
+class TestDomainStats:
+    def test_counts(self):
+        stats = domain_stats(make_domain())
+        assert stats.num_users == 2
+        assert stats.num_items == 2
+        assert stats.num_reviews == 3
+
+    def test_rating_histogram_complete(self):
+        stats = domain_stats(make_domain())
+        assert stats.rating_histogram[5.0] == 2
+        assert stats.rating_histogram[3.0] == 1
+        assert stats.rating_histogram[1.0] == 0
+
+    def test_mean_rating(self):
+        assert domain_stats(make_domain()).mean_rating == pytest.approx(13 / 3)
+
+    def test_reviews_per_user(self):
+        stats = domain_stats(make_domain())
+        assert stats.reviews_per_user_mean == pytest.approx(1.5)
+        assert stats.reviews_per_user_median == pytest.approx(1.5)
+
+    def test_empty_domain(self):
+        stats = domain_stats(DomainData("empty", []))
+        assert stats.num_reviews == 0
+        assert stats.mean_rating == 0.0
+
+
+class TestCrossDomainStats:
+    def test_overlap_fields(self):
+        source = make_domain()
+        target = DomainData("movies", [Review("u1", "m1", 4.0, "x")])
+        stats = cross_domain_stats(CrossDomainDataset(source, target))
+        assert stats["overlap_users"] == 1
+        assert stats["overlap_fraction_of_target"] == 1.0
+        assert stats["overlap_fraction_of_source"] == 0.5
+
+    def test_format_is_readable(self):
+        source = make_domain()
+        target = DomainData("movies", [Review("u1", "m1", 4.0, "x")])
+        text = format_stats(CrossDomainDataset(source, target))
+        assert "books -> movies" in text
+        assert "density" in text
+        assert "overlap" in text

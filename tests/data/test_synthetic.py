@@ -1,0 +1,147 @@
+"""Unit tests for the synthetic cross-domain corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_PROFILES,
+    TOPICS,
+    GeneratorConfig,
+    generate_domain_pair,
+    generate_scenario,
+)
+from repro.data.synthetic import DOMAIN_WORDS, SENTIMENT
+
+
+def small_config(**overrides):
+    base = dict(num_users=80, num_items_per_domain=40, reviews_per_user_mean=5.0, seed=5)
+    base.update(overrides)
+    return GeneratorConfig(**base)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_domain_pair("books", "movies", small_config())
+        b = generate_domain_pair("books", "movies", small_config())
+        assert [r.summary for r in a.source.reviews] == [r.summary for r in b.source.reviews]
+        assert [r.rating for r in a.target.reviews] == [r.rating for r in b.target.reviews]
+
+    def test_different_seeds_differ(self):
+        a = generate_domain_pair("books", "movies", small_config(seed=1))
+        b = generate_domain_pair("books", "movies", small_config(seed=2))
+        assert [r.rating for r in a.target.reviews] != [r.rating for r in b.target.reviews]
+
+    def test_scenario_salt_differs_by_pair(self):
+        a = generate_scenario("amazon", "books", "movies", num_users=80,
+                              num_items_per_domain=40)
+        b = generate_scenario("amazon", "movies", "music", num_users=80,
+                              num_items_per_domain=40)
+        assert len(a.target) != len(b.target) or (
+            [r.rating for r in a.target.reviews] != [r.rating for r in b.target.reviews]
+        )
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ValueError):
+            generate_domain_pair("books", "gardening", small_config())
+
+    def test_same_domain_rejected(self):
+        with pytest.raises(ValueError):
+            generate_domain_pair("books", "books", small_config())
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            generate_scenario("netflix", "books", "movies")
+
+    def test_overlap_fraction_respected(self):
+        config = small_config(overlap_fraction=0.5)
+        dataset = generate_domain_pair("books", "movies", config)
+        overlap = len(dataset.overlapping_users)
+        assert abs(overlap - 40) <= 2  # 0.5 * 80
+
+    def test_ratings_in_range(self):
+        dataset = generate_domain_pair("books", "movies", small_config())
+        for review in dataset.source.reviews + dataset.target.reviews:
+            assert review.rating in (1.0, 2.0, 3.0, 4.0, 5.0)
+
+    def test_min_reviews_per_user(self):
+        config = small_config(reviews_per_user_min=3)
+        dataset = generate_domain_pair("books", "movies", config)
+        for user in dataset.target.users:
+            assert len(dataset.target.reviews_of_user(user)) >= 3
+
+    def test_summary_contains_domain_word(self):
+        dataset = generate_domain_pair("books", "movies", small_config())
+        domain_words = set(DOMAIN_WORDS["movies"])
+        hits = sum(
+            1 for r in dataset.target.reviews if domain_words & set(r.summary.split())
+        )
+        assert hits == len(dataset.target)
+
+    def test_summary_sentiment_matches_rating(self):
+        dataset = generate_domain_pair("books", "movies", small_config())
+        for review in dataset.target.reviews[:200]:
+            level_words = set(SENTIMENT[int(review.rating)])
+            assert level_words & set(review.summary.split())
+
+    def test_text_longer_than_summary(self):
+        dataset = generate_domain_pair("books", "movies", small_config())
+        for review in dataset.target.reviews[:50]:
+            assert len(review.text.split()) > len(review.summary.split())
+
+    def test_generator_overrides_via_scenario(self):
+        dataset = generate_scenario(
+            "amazon", "books", "music", num_users=60, num_items_per_domain=30
+        )
+        assert len(dataset.source.users | dataset.target.users) <= 60
+
+
+class TestPaperAssumptions:
+    """The generator must make the paper's two assumptions true in the data."""
+
+    def test_assumption1_cross_domain_rating_consistency(self):
+        """Overlapping users' mean ratings correlate across domains."""
+        dataset = generate_domain_pair(
+            "books", "movies", small_config(num_users=200, reviews_per_user_mean=8.0)
+        )
+        xs, ys = [], []
+        for user in dataset.overlapping_users:
+            xs.append(np.mean([r.rating for r in dataset.source.reviews_of_user(user)]))
+            ys.append(np.mean([r.rating for r in dataset.target.reviews_of_user(user)]))
+        assert np.corrcoef(xs, ys)[0, 1] > 0.2
+
+    def test_assumption2_like_minded_pool_nonempty(self):
+        """Most interactions have at least one like-minded co-rater."""
+        dataset = generate_domain_pair(
+            "books", "movies", small_config(num_users=200, reviews_per_user_mean=8.0)
+        )
+        with_pool = 0
+        total = 0
+        for review in dataset.source.reviews[:500]:
+            total += 1
+            pool = dataset.source.like_minded_users(review.item_id, review.rating)
+            if len(pool) > 1:  # someone besides the author
+                with_pool += 1
+        assert with_pool / total > 0.5
+
+    def test_rating_distribution_not_degenerate(self):
+        dataset = generate_domain_pair("books", "movies", small_config(num_users=200))
+        ratings = [r.rating for r in dataset.target.reviews]
+        counts = {k: ratings.count(k) for k in (1.0, 2.0, 3.0, 4.0, 5.0)}
+        assert all(c > 0 for c in counts.values())
+        assert max(counts.values()) / len(ratings) < 0.6
+
+
+class TestProfiles:
+    def test_profiles_exist(self):
+        assert set(DATASET_PROFILES) == {"amazon", "douban"}
+
+    def test_douban_denser_reviews(self):
+        assert (
+            DATASET_PROFILES["douban"].reviews_per_user_mean
+            != DATASET_PROFILES["amazon"].reviews_per_user_mean
+        )
+
+    def test_topics_have_enough_words(self):
+        for topic, words in TOPICS.items():
+            assert len(words) >= 10, topic
+            assert len(set(words)) == len(words)

@@ -1,0 +1,53 @@
+"""Structural checks on generated worlds beyond the statistical ones."""
+
+import pytest
+
+from repro.data import GeneratorConfig, generate_domain_pair, generate_scenario
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_domain_pair(
+        "books",
+        "movies",
+        GeneratorConfig(num_users=80, num_items_per_domain=40,
+                        reviews_per_user_mean=5.0, seed=71),
+    )
+
+
+class TestStructure:
+    def test_item_ids_prefixed_by_domain(self, world):
+        assert all(i.startswith("BO") for i in world.source.items)
+        assert all(i.startswith("MO") for i in world.target.items)
+
+    def test_user_ids_shared_namespace(self, world):
+        for user in world.overlapping_users:
+            assert user.startswith("U")
+
+    def test_no_duplicate_user_item_pairs(self, world):
+        for domain in (world.source, world.target):
+            pairs = [(r.user_id, r.item_id) for r in domain.reviews]
+            assert len(pairs) == len(set(pairs)), domain.name
+
+    def test_overlapping_users_review_in_both(self, world):
+        for user in list(world.overlapping_users)[:20]:
+            assert world.source.reviews_of_user(user)
+            assert world.target.reviews_of_user(user)
+
+    def test_non_overlap_users_in_exactly_one_domain(self, world):
+        only_source = world.source.users - world.target.users
+        only_target = world.target.users - world.source.users
+        assert only_source and only_target
+        for user in list(only_source)[:5]:
+            assert not world.target.reviews_of_user(user)
+
+    def test_metadata_carries_config(self, world):
+        assert isinstance(world.metadata["config"], GeneratorConfig)
+
+    def test_scenario_metadata_carries_dataset_name(self):
+        dataset = generate_scenario("douban", "movies", "music",
+                                    num_users=60, num_items_per_domain=30)
+        assert dataset.metadata["dataset"] == "douban"
+
+    def test_summaries_nonempty(self, world):
+        assert all(r.summary.strip() for r in world.target.reviews)

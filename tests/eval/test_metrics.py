@@ -1,0 +1,62 @@
+"""Unit tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import mae, rmse
+
+
+class TestRMSE:
+    def test_zero_on_perfect(self):
+        assert rmse(np.array([1.0, 2.0]), np.array([1.0, 2.0])) == 0.0
+
+    def test_known_value(self):
+        assert rmse(np.array([1.0, 3.0]), np.array([2.0, 1.0])) == pytest.approx(
+            np.sqrt((1 + 4) / 2)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse(np.array([]), np.array([]))
+
+
+class TestMAE:
+    def test_known_value(self):
+        assert mae(np.array([1.0, 3.0]), np.array([2.0, 1.0])) == pytest.approx(1.5)
+
+    def test_zero_on_perfect(self):
+        assert mae(np.array([4.0]), np.array([4.0])) == 0.0
+
+
+class TestProperties:
+    @given(st.lists(st.floats(1.0, 5.0), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_rmse_dominates_mae(self, values):
+        actual = np.array(values)
+        predicted = np.full_like(actual, 3.0)
+        assert rmse(actual, predicted) >= mae(actual, predicted) - 1e-12
+
+    @given(
+        st.lists(st.floats(1.0, 5.0), min_size=2, max_size=20),
+        st.floats(-1.0, 1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_translation_consistency(self, values, shift):
+        actual = np.array(values)
+        predicted = actual + shift
+        assert rmse(actual, predicted) == pytest.approx(abs(shift), abs=1e-9)
+        assert mae(actual, predicted) == pytest.approx(abs(shift), abs=1e-9)
+
+    @given(st.lists(st.floats(1.0, 5.0), min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_nonnegative(self, values):
+        actual = np.array(values)
+        predicted = actual[::-1].copy()
+        assert rmse(actual, predicted) >= 0
+        assert mae(actual, predicted) >= 0

@@ -1,0 +1,113 @@
+"""Tests for the experiment protocol, registry, and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    METHODS,
+    PAPER_METHODS,
+    ExperimentResult,
+    format_comparison,
+    format_table,
+    improvement_over_best_baseline,
+    make_predictor,
+    run_experiment,
+)
+from repro.data import GeneratorConfig, cold_start_split, generate_domain_pair
+
+SMALL = dict(num_users=90, num_items_per_domain=40, reviews_per_user_mean=5.0)
+
+
+class TestRegistry:
+    def test_paper_methods_all_registered(self):
+        for name in PAPER_METHODS:
+            assert name in METHODS
+
+    def test_reference_methods_registered(self):
+        assert "global-mean" in METHODS
+        assert "item-mean" in METHODS
+
+    def test_unknown_method_rejected(self):
+        dataset = generate_domain_pair("books", "movies", GeneratorConfig(**SMALL, seed=2))
+        split = cold_start_split(dataset, seed=0)
+        with pytest.raises(KeyError):
+            make_predictor("SVD++", dataset, split)
+
+    def test_make_predictor_returns_fitted(self):
+        dataset = generate_domain_pair("books", "movies", GeneratorConfig(**SMALL, seed=2))
+        split = cold_start_split(dataset, seed=0)
+        fitted = make_predictor("item-mean", dataset, split)
+        test = split.eval_interactions(dataset, "test")
+        assert fitted.predict_interactions(test).shape == (len(test),)
+
+
+class TestRunExperiment:
+    def test_result_structure(self):
+        result = run_experiment(
+            "item-mean", "amazon", "books", "movies", trials=2, **SMALL
+        )
+        assert result.method == "item-mean"
+        assert result.scenario == "books -> movies"
+        assert len(result.rmse_per_trial) == 2
+        assert result.rmse == pytest.approx(np.mean(result.rmse_per_trial))
+        assert 0 < result.rmse < 3
+        assert 0 < result.mae <= result.rmse
+
+    def test_trials_vary_split(self):
+        result = run_experiment(
+            "item-mean", "amazon", "books", "movies", trials=3, **SMALL
+        )
+        assert len(set(result.rmse_per_trial)) > 1
+
+    def test_train_fraction_forwarded(self):
+        full = run_experiment("global-mean", "amazon", "books", "movies",
+                              trials=1, train_fraction=1.0, **SMALL)
+        small = run_experiment("global-mean", "amazon", "books", "movies",
+                               trials=1, train_fraction=0.2, **SMALL)
+        assert np.isfinite(full.rmse) and np.isfinite(small.rmse)
+
+    def test_row_rendering(self):
+        result = run_experiment("item-mean", "amazon", "books", "movies",
+                                trials=1, **SMALL)
+        row = result.row()
+        assert set(row) == {"method", "scenario", "RMSE", "MAE"}
+
+    def test_deterministic_given_seed(self):
+        a = run_experiment("item-mean", "amazon", "books", "movies",
+                           trials=1, seed=5, **SMALL)
+        b = run_experiment("item-mean", "amazon", "books", "movies",
+                           trials=1, seed=5, **SMALL)
+        assert a.rmse == b.rmse
+
+
+class TestResultFormatting:
+    def _fake(self, method, rmse_value, mae_value):
+        return ExperimentResult(
+            method=method, dataset="amazon", source="books", target="movies",
+            rmse=rmse_value, mae=mae_value, trials=1,
+        )
+
+    def test_format_table_contains_all(self):
+        results = [self._fake("A", 1.2, 0.9), self._fake("B", 1.1, 0.8)]
+        table = format_table(results)
+        assert "A" in table and "B" in table and "books -> movies" in table
+
+    def test_improvement_computation(self):
+        results = [
+            self._fake("OmniMatch", 0.9, 0.7),
+            self._fake("EMCDR", 1.0, 0.8),
+            self._fake("CMF", 1.5, 1.2),
+        ]
+        assert improvement_over_best_baseline(results) == pytest.approx(10.0)
+
+    def test_improvement_requires_both_sides(self):
+        with pytest.raises(ValueError):
+            improvement_over_best_baseline([self._fake("OmniMatch", 1.0, 0.8)])
+
+    def test_format_comparison_includes_delta(self):
+        results = [
+            self._fake("OmniMatch", 0.9, 0.7),
+            self._fake("EMCDR", 1.0, 0.8),
+        ]
+        out = format_comparison(results)
+        assert "Δ%" in out

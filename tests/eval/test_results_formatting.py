@@ -1,0 +1,53 @@
+"""Additional tests for result-table rendering."""
+
+import pytest
+
+from repro.eval import ExperimentResult, format_table
+
+
+def cell(method, scenario_pair, rmse_value, mae_value):
+    source, target = scenario_pair
+    return ExperimentResult(
+        method=method, dataset="amazon", source=source, target=target,
+        rmse=rmse_value, mae=mae_value, trials=1,
+    )
+
+
+class TestFormatTable:
+    def test_multi_scenario_grid(self):
+        results = [
+            cell("A", ("books", "movies"), 1.1, 0.9),
+            cell("B", ("books", "movies"), 1.2, 1.0),
+            cell("A", ("movies", "music"), 1.3, 1.1),
+            cell("B", ("movies", "music"), 1.4, 1.2),
+        ]
+        table = format_table(results)
+        lines = table.splitlines()
+        assert len(lines) == 4  # header + rule + 2 scenario rows
+        assert "books -> movies" in lines[2]
+        assert "movies -> music" in lines[3]
+
+    def test_mae_metric_selection(self):
+        results = [cell("A", ("books", "movies"), 1.1, 0.9)]
+        table_rmse = format_table(results, metric="RMSE")
+        table_mae = format_table(results, metric="MAE")
+        assert "1.100" in table_rmse
+        assert "0.900" in table_mae
+
+    def test_missing_cell_left_blank(self):
+        results = [
+            cell("A", ("books", "movies"), 1.1, 0.9),
+            cell("B", ("movies", "music"), 1.4, 1.2),
+        ]
+        table = format_table(results)
+        # both scenarios and both methods present, no crash on the holes
+        assert "books -> movies" in table
+        assert "movies -> music" in table
+
+    def test_method_order_preserved(self):
+        results = [
+            cell("Zeta", ("books", "movies"), 1.0, 0.8),
+            cell("Alpha", ("books", "movies"), 1.1, 0.9),
+        ]
+        header = format_table(results).splitlines()[0]
+        assert header.index("Zeta") < header.index("Alpha")

@@ -1,0 +1,71 @@
+"""Tests for the paired-bootstrap significance machinery."""
+
+import numpy as np
+import pytest
+
+from repro.eval import paired_bootstrap
+
+
+def make_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    actual = rng.integers(1, 6, size=n).astype(float)
+    good = actual + rng.normal(0, 0.3, size=n)   # accurate method
+    bad = actual + rng.normal(0, 1.2, size=n)    # noisy method
+    return actual, good, bad
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_detected(self):
+        actual, good, bad = make_data()
+        result = paired_bootstrap(actual, good, bad, num_samples=500)
+        assert result.win_rate_a > 0.99
+        assert result.significant_at_95
+        assert result.delta_mean > 0  # positive delta favours A
+
+    def test_identical_predictions_not_significant(self):
+        actual, good, _ = make_data()
+        result = paired_bootstrap(actual, good, good.copy(), num_samples=200)
+        assert not result.significant_at_95
+        assert result.delta_mean == pytest.approx(0.0, abs=1e-12)
+
+    def test_observed_metrics_match_direct_computation(self):
+        from repro.eval import rmse
+
+        actual, good, bad = make_data()
+        result = paired_bootstrap(actual, good, bad, num_samples=50)
+        assert result.observed_a == pytest.approx(rmse(actual, good))
+        assert result.observed_b == pytest.approx(rmse(actual, bad))
+
+    def test_mae_metric_supported(self):
+        actual, good, bad = make_data()
+        result = paired_bootstrap(actual, good, bad, metric="mae", num_samples=100)
+        assert result.metric == "mae"
+        assert result.win_rate_a > 0.95
+
+    def test_deterministic_given_seed(self):
+        actual, good, bad = make_data()
+        a = paired_bootstrap(actual, good, bad, num_samples=100, seed=7)
+        b = paired_bootstrap(actual, good, bad, num_samples=100, seed=7)
+        assert a.delta_mean == b.delta_mean
+
+    def test_ci_ordering(self):
+        actual, good, bad = make_data()
+        result = paired_bootstrap(actual, good, bad, num_samples=200)
+        assert result.delta_ci_low <= result.delta_mean <= result.delta_ci_high
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(metric="mape"),
+        dict(num_samples=0),
+    ])
+    def test_invalid_arguments(self, kwargs):
+        actual, good, bad = make_data(20)
+        with pytest.raises(ValueError):
+            paired_bootstrap(actual, good, bad, **kwargs)
+
+    def test_misaligned_vectors_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap(np.ones(5), np.ones(4), np.ones(5))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap(np.array([]), np.array([]), np.array([]))

@@ -1,0 +1,126 @@
+"""Unit tests for ``repro.nn.functional``."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn import functional as F
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self):
+        x = nn.Tensor(np.random.default_rng(0).normal(size=(4, 6)))
+        probs = F.softmax(x, axis=-1).data
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(4), atol=1e-12)
+
+    def test_softmax_matches_scipy_style(self):
+        x_data = np.array([[1.0, 2.0, 3.0]])
+        expected = np.exp(x_data) / np.exp(x_data).sum()
+        np.testing.assert_allclose(F.softmax(nn.Tensor(x_data)).data, expected, atol=1e-12)
+
+    def test_softmax_stable_for_large_logits(self):
+        x = nn.Tensor(np.array([[1000.0, 1001.0]]))
+        probs = F.softmax(x).data
+        assert np.isfinite(probs).all()
+        np.testing.assert_allclose(probs.sum(), 1.0)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = nn.Tensor(np.random.default_rng(1).normal(size=(3, 5)))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-10
+        )
+
+    def test_logsumexp_matches_numpy(self):
+        x_data = np.random.default_rng(2).normal(size=(3, 4))
+        expected = np.log(np.exp(x_data).sum(axis=-1))
+        np.testing.assert_allclose(
+            F.logsumexp(nn.Tensor(x_data), axis=-1).data, expected, atol=1e-10
+        )
+
+    def test_logsumexp_keepdims(self):
+        x = nn.Tensor(np.ones((2, 3)))
+        assert F.logsumexp(x, axis=-1, keepdims=True).shape == (2, 1)
+
+    def test_softmax_axis0(self):
+        x = nn.Tensor(np.random.default_rng(3).normal(size=(4, 2)))
+        probs = F.softmax(x, axis=0).data
+        np.testing.assert_allclose(probs.sum(axis=0), np.ones(2), atol=1e-12)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = nn.Tensor(np.ones(100))
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_zero_rate_is_identity(self):
+        x = nn.Tensor(np.ones(10))
+        out = F.dropout(x, 0.0, np.random.default_rng(0), training=True)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_training_scales_kept_units(self):
+        x = nn.Tensor(np.ones(10000))
+        out = F.dropout(x, 0.4, np.random.default_rng(0), training=True).data
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 1.0 / 0.6)
+        # expectation preserved
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            F.dropout(nn.Tensor([1.0]), 1.0, np.random.default_rng(0))
+
+    def test_gradient_masked_consistently(self):
+        x = nn.Tensor(np.ones(1000), requires_grad=True)
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=True)
+        out.sum().backward()
+        zero_fwd = out.data == 0
+        np.testing.assert_allclose(x.grad[zero_fwd], 0.0)
+
+
+class TestGradientReversal:
+    def test_forward_identity(self):
+        x = nn.Tensor([1.0, -2.0])
+        np.testing.assert_allclose(F.gradient_reversal(x).data, x.data)
+
+    def test_backward_negates(self):
+        x = nn.Tensor([1.0, 2.0], requires_grad=True)
+        F.gradient_reversal(x, lam=1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [-1.0, -1.0])
+
+    def test_lambda_scales(self):
+        x = nn.Tensor([1.0], requires_grad=True)
+        F.gradient_reversal(x, lam=3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [-3.0])
+
+    def test_composes_with_downstream(self):
+        x = nn.Tensor([2.0], requires_grad=True)
+        (F.gradient_reversal(x) * 5.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [-5.0])
+
+
+class TestL2Normalize:
+    def test_rows_unit_norm(self):
+        x = nn.Tensor(np.random.default_rng(0).normal(size=(5, 4)) * 10)
+        out = F.l2_normalize(x).data
+        np.testing.assert_allclose(np.linalg.norm(out, axis=-1), np.ones(5), atol=1e-9)
+
+    def test_zero_vector_stays_finite(self):
+        out = F.l2_normalize(nn.Tensor(np.zeros((1, 3)))).data
+        assert np.isfinite(out).all()
+
+
+class TestOneHot:
+    def test_shape_and_values(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_multidim_labels(self):
+        out = F.one_hot(np.array([[0, 1], [1, 0]]), 2)
+        assert out.shape == (2, 2, 2)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([-1]), 3)

@@ -1,0 +1,62 @@
+"""Unit tests for parameter initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFans:
+    def test_linear_shape_fans(self):
+        fan_in, fan_out = init._fan_in_out((8, 4))
+        assert (fan_in, fan_out) == (4, 8)
+
+    def test_conv_shape_fans(self):
+        # (filters, kernel, embed): receptive field multiplies
+        fan_in, fan_out = init._fan_in_out((16, 3, 8))
+        assert fan_in == 3 * 8
+        assert fan_out == 16 * 8
+
+    def test_vector_shape(self):
+        assert init._fan_in_out((5,)) == (5, 5)
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            init._fan_in_out(())
+
+
+class TestDistributions:
+    def test_xavier_bound(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_uniform((100, 50), rng)
+        bound = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= bound
+
+    def test_xavier_gain_scales(self):
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        a = init.xavier_uniform((10, 10), rng1, gain=1.0)
+        b = init.xavier_uniform((10, 10), rng2, gain=2.0)
+        np.testing.assert_allclose(b, 2 * a)
+
+    def test_kaiming_bound(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_uniform((64, 32), rng)
+        assert np.abs(w).max() <= np.sqrt(6.0 / 32)
+
+    def test_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.normal((200, 200), rng, std=0.5)
+        assert abs(w.std() - 0.5) < 0.02
+
+    def test_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = init.uniform((50, 50), rng, bound=0.1)
+        assert np.abs(w).max() <= 0.1
+
+    def test_zeros(self):
+        np.testing.assert_allclose(init.zeros((3, 4)), 0.0)
+
+    def test_deterministic_with_same_rng_state(self):
+        a = init.xavier_uniform((5, 5), np.random.default_rng(42))
+        b = init.xavier_uniform((5, 5), np.random.default_rng(42))
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,191 @@
+"""Unit tests for layers and the module system."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = nn.Linear(4, 7, RNG())
+        assert layer(nn.Tensor(np.ones((3, 4)))).shape == (3, 7)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 2, RNG(), bias=False)
+        assert layer.bias is None
+        out = layer(nn.Tensor(np.zeros((1, 4))))
+        np.testing.assert_allclose(out.data, np.zeros((1, 2)))
+
+    def test_parameters_registered(self):
+        layer = nn.Linear(4, 2, RNG())
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_gradients_flow_to_weight(self):
+        layer = nn.Linear(3, 2, RNG())
+        layer(nn.Tensor(np.ones((5, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, [5.0, 5.0])
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = nn.Embedding(10, 4, rng=RNG())
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_padding_idx_zeroed(self):
+        emb = nn.Embedding(10, 4, rng=RNG(), padding_idx=0)
+        np.testing.assert_allclose(emb(np.array([0])).data, np.zeros((1, 4)))
+
+    def test_preset_weights(self):
+        table = np.arange(8.0).reshape(4, 2)
+        emb = nn.Embedding(4, 2, weights=table)
+        np.testing.assert_allclose(emb(np.array([3])).data, [[6.0, 7.0]])
+
+    def test_weights_shape_validated(self):
+        with pytest.raises(ValueError):
+            nn.Embedding(4, 2, weights=np.zeros((3, 2)))
+
+    def test_requires_rng_or_weights(self):
+        with pytest.raises(ValueError):
+            nn.Embedding(4, 2)
+
+    def test_frozen_embedding_has_no_parameters(self):
+        emb = nn.Embedding(4, 2, rng=RNG(), trainable=False)
+        assert emb.parameters() == []
+
+    def test_trainable_embedding_gets_gradient(self):
+        emb = nn.Embedding(4, 2, rng=RNG(), trainable=True)
+        emb(np.array([1, 1])).sum().backward()
+        assert emb.weight.grad is not None
+        np.testing.assert_allclose(emb.weight.grad[1], [2.0, 2.0])
+
+    def test_out_of_range_index_raises(self):
+        emb = nn.Embedding(4, 2, rng=RNG())
+        with pytest.raises(IndexError):
+            emb(np.array([4]))
+
+
+class TestDropoutLayer:
+    def test_respects_eval_mode(self):
+        layer = nn.Dropout(0.5, RNG())
+        layer.eval()
+        x = nn.Tensor(np.ones(50))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_train_mode_zeroes_some(self):
+        layer = nn.Dropout(0.5, RNG())
+        out = layer(nn.Tensor(np.ones(1000))).data
+        assert (out == 0).sum() > 300
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5, RNG())
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self):
+        layer = nn.LayerNorm(6)
+        x = nn.Tensor(np.random.default_rng(0).normal(2.0, 5.0, size=(4, 6)))
+        out = layer(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-3)
+
+    def test_gain_shift_learnable(self):
+        layer = nn.LayerNorm(3)
+        assert {n for n, _ in layer.named_parameters()} == {"gain", "shift"}
+
+
+class TestMLP:
+    def test_shapes(self):
+        mlp = nn.MLP([4, 8, 2], RNG())
+        assert mlp(nn.Tensor(np.ones((3, 4)))).shape == (3, 2)
+
+    def test_needs_two_dims(self):
+        with pytest.raises(ValueError):
+            nn.MLP([4], RNG())
+
+    def test_final_layer_linear_by_default(self):
+        mlp = nn.MLP([2, 2], RNG())
+        out = mlp(nn.Tensor(np.array([[-100.0, -100.0]]))).data
+        # a ReLU-terminated net could not output negative values
+        mlp2 = nn.MLP([2, 2], RNG(), final_activation=True)
+        out2 = mlp2(nn.Tensor(np.array([[-100.0, -100.0]]))).data
+        assert (out2 >= 0).all()
+
+    def test_dropout_layers_created(self):
+        mlp = nn.MLP([4, 4, 4], RNG(), dropout=0.3)
+        assert any(d is not None for d in mlp.dropouts)
+
+    def test_parameter_count(self):
+        mlp = nn.MLP([4, 8, 2], RNG())
+        assert mlp.num_parameters() == (4 * 8 + 8) + (8 * 2 + 2)
+
+
+class TestSequential:
+    def test_applies_in_order(self):
+        rng = RNG()
+        seq = nn.Sequential(nn.Linear(4, 8, rng), nn.ReLU(), nn.Linear(8, 2, rng))
+        assert seq(nn.Tensor(np.ones((1, 4)))).shape == (1, 2)
+
+    def test_collects_child_parameters(self):
+        rng = RNG()
+        seq = nn.Sequential(nn.Linear(2, 2, rng), nn.Linear(2, 2, rng))
+        assert len(seq.parameters()) == 4
+
+
+class TestModuleSystem:
+    def test_train_eval_propagates(self):
+        rng = RNG()
+        seq = nn.Sequential(nn.Dropout(0.5, rng), nn.Linear(2, 2, rng))
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+        seq.train()
+        assert all(m.training for m in seq.modules())
+
+    def test_zero_grad_clears_all(self):
+        mlp = nn.MLP([2, 2], RNG())
+        mlp(nn.Tensor(np.ones((1, 2)))).sum().backward()
+        assert mlp.linears[0].weight.grad is not None
+        mlp.zero_grad()
+        assert mlp.linears[0].weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        mlp1 = nn.MLP([3, 4, 2], RNG(0))
+        mlp2 = nn.MLP([3, 4, 2], RNG(99))
+        mlp2.load_state_dict(mlp1.state_dict())
+        x = nn.Tensor(np.ones((2, 3)))
+        np.testing.assert_allclose(mlp1(x).data, mlp2(x).data)
+
+    def test_state_dict_missing_key_raises(self):
+        mlp = nn.MLP([2, 2], RNG())
+        with pytest.raises(KeyError):
+            mlp.load_state_dict({})
+
+    def test_state_dict_shape_mismatch_raises(self):
+        mlp = nn.MLP([2, 2], RNG())
+        state = mlp.state_dict()
+        state["linear0.weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            mlp.load_state_dict(state)
+
+    def test_state_dict_is_a_copy(self):
+        mlp = nn.MLP([2, 2], RNG())
+        state = mlp.state_dict()
+        state["linear0.weight"][:] = 99.0
+        assert not (mlp.linears[0].weight.data == 99.0).any()
+
+    def test_save_load_npz(self, tmp_path):
+        mlp1 = nn.MLP([3, 2], RNG(0))
+        mlp2 = nn.MLP([3, 2], RNG(5))
+        path = tmp_path / "model.npz"
+        nn.save_module(mlp1, path)
+        nn.load_module(mlp2, path)
+        x = nn.Tensor(np.ones((1, 3)))
+        np.testing.assert_allclose(mlp1(x).data, mlp2(x).data)

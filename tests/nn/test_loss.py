@@ -1,0 +1,134 @@
+"""Unit tests for loss functions, especially the supervised contrastive loss."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+
+
+class TestMSE:
+    def test_value(self):
+        pred = nn.Tensor([1.0, 2.0, 3.0])
+        assert nn.mse_loss(pred, np.array([1.0, 2.0, 5.0])).item() == pytest.approx(4.0 / 3.0)
+
+    def test_zero_at_perfect(self):
+        pred = nn.Tensor([1.0, 2.0])
+        assert nn.mse_loss(pred, np.array([1.0, 2.0])).item() == 0.0
+
+    def test_gradient(self):
+        pred = nn.Tensor([3.0], requires_grad=True)
+        nn.mse_loss(pred, np.array([1.0])).backward()
+        np.testing.assert_allclose(pred.grad, [4.0])
+
+    def test_accepts_tensor_target(self):
+        assert nn.mse_loss(nn.Tensor([1.0]), nn.Tensor([0.0])).item() == 1.0
+
+    def test_module_form(self):
+        loss = nn.MSELoss()
+        assert loss(nn.Tensor([2.0]), np.array([0.0])).item() == 4.0
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_n(self):
+        logits = nn.Tensor(np.zeros((4, 5)))
+        labels = np.array([0, 1, 2, 3])
+        assert nn.cross_entropy(logits, labels).item() == pytest.approx(np.log(5))
+
+    def test_confident_correct_near_zero(self):
+        logits_data = np.full((2, 3), -100.0)
+        logits_data[0, 1] = 100.0
+        logits_data[1, 2] = 100.0
+        loss = nn.cross_entropy(nn.Tensor(logits_data), np.array([1, 2]))
+        assert loss.item() < 1e-6
+
+    def test_confident_wrong_is_large(self):
+        logits_data = np.array([[50.0, -50.0]])
+        assert nn.cross_entropy(nn.Tensor(logits_data), np.array([1])).item() > 50
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            nn.cross_entropy(nn.Tensor(np.zeros(4)), np.array([0]))
+        with pytest.raises(ValueError):
+            nn.cross_entropy(nn.Tensor(np.zeros((2, 3))), np.array([0]))
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        logits = nn.Tensor(np.zeros((1, 3)), requires_grad=True)
+        nn.cross_entropy(logits, np.array([0])).backward()
+        np.testing.assert_allclose(logits.grad, [[1 / 3 - 1, 1 / 3, 1 / 3]], atol=1e-12)
+
+    def test_module_form(self):
+        loss = nn.CrossEntropyLoss()
+        assert loss(nn.Tensor(np.zeros((1, 2))), np.array([0])).item() == pytest.approx(np.log(2))
+
+
+class TestSupConLoss:
+    def test_zero_when_no_positive_pairs(self):
+        z = nn.Tensor(np.random.default_rng(0).normal(size=(3, 4)))
+        loss = nn.supcon_loss(z, np.array([0, 1, 2]))
+        assert loss.item() == 0.0
+
+    def test_zero_for_single_sample(self):
+        loss = nn.supcon_loss(nn.Tensor(np.ones((1, 4))), np.array([0]))
+        assert loss.item() == 0.0
+
+    def test_clustered_features_have_lower_loss(self):
+        rng = np.random.default_rng(0)
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        centers = np.array([[10.0, 0.0], [0.0, 10.0]])
+        clustered = centers[labels] + rng.normal(0, 0.01, size=(6, 2))
+        random = rng.normal(size=(6, 2))
+        loss_clustered = nn.supcon_loss(nn.Tensor(clustered), labels).item()
+        loss_random = nn.supcon_loss(nn.Tensor(random), labels).item()
+        assert loss_clustered < loss_random
+
+    def test_permutation_invariance(self):
+        rng = np.random.default_rng(1)
+        z_data = rng.normal(size=(6, 4))
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        base = nn.supcon_loss(nn.Tensor(z_data), labels).item()
+        perm = rng.permutation(6)
+        permuted = nn.supcon_loss(nn.Tensor(z_data[perm]), labels[perm]).item()
+        assert base == pytest.approx(permuted, rel=1e-9)
+
+    def test_scale_invariance_from_normalization(self):
+        z_data = np.random.default_rng(2).normal(size=(4, 3))
+        labels = np.array([0, 0, 1, 1])
+        a = nn.supcon_loss(nn.Tensor(z_data), labels).item()
+        b = nn.supcon_loss(nn.Tensor(z_data * 100), labels).item()
+        assert a == pytest.approx(b, rel=1e-6)
+
+    def test_temperature_changes_loss(self):
+        z = nn.Tensor(np.random.default_rng(3).normal(size=(4, 3)))
+        labels = np.array([0, 0, 1, 1])
+        a = nn.supcon_loss(z, labels, temperature=0.07).item()
+        b = nn.supcon_loss(z, labels, temperature=1.0).item()
+        assert a != pytest.approx(b)
+
+    def test_mismatched_labels_raise(self):
+        with pytest.raises(ValueError):
+            nn.supcon_loss(nn.Tensor(np.ones((3, 2))), np.array([0, 1]))
+
+    def test_gradient_pulls_positives_together(self):
+        # two same-label points on a plane: gradient should rotate them closer
+        z_data = np.array([[1.0, 0.0], [0.0, 1.0], [-1.0, -1.0]])
+        labels = np.array([0, 0, 1])
+        z = nn.Tensor(z_data, requires_grad=True)
+        nn.supcon_loss(z, labels).backward()
+        step = z_data - 0.1 * z.grad
+        cos_before = z_data[0] @ z_data[1] / (
+            np.linalg.norm(z_data[0]) * np.linalg.norm(z_data[1])
+        )
+        cos_after = step[0] @ step[1] / (np.linalg.norm(step[0]) * np.linalg.norm(step[1]))
+        assert cos_after > cos_before
+
+    def test_module_validates_temperature(self):
+        with pytest.raises(ValueError):
+            nn.SupConLoss(temperature=0.0)
+
+    def test_module_form_matches_function(self):
+        z = nn.Tensor(np.random.default_rng(4).normal(size=(4, 3)))
+        labels = np.array([0, 1, 0, 1])
+        module = nn.SupConLoss(temperature=0.07)
+        assert module(z, labels).item() == pytest.approx(
+            nn.supcon_loss(z, labels, temperature=0.07).item()
+        )

@@ -1,0 +1,124 @@
+"""Unit tests for optimizers: convergence and mechanical behavior."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+
+
+def quadratic_problem(seed=0):
+    """Minimize ||x - target||^2 starting from zero."""
+    rng = np.random.default_rng(seed)
+    target = rng.normal(size=5)
+    param = nn.Parameter(np.zeros(5))
+    return param, target
+
+
+def loss_of(param, target):
+    diff = param - nn.Tensor(target)
+    return (diff * diff).sum()
+
+
+class TestConvergence:
+    @pytest.mark.parametrize(
+        "make_optimizer,steps",
+        [
+            (lambda p: nn.SGD([p], lr=0.1), 200),
+            (lambda p: nn.SGD([p], lr=0.05, momentum=0.9), 200),
+            (lambda p: nn.Adam([p], lr=0.05), 400),
+            (lambda p: nn.Adadelta([p], lr=1.0), 800),
+        ],
+    )
+    def test_reaches_optimum(self, make_optimizer, steps):
+        param, target = quadratic_problem()
+        optimizer = make_optimizer(param)
+        for _ in range(steps):
+            optimizer.zero_grad()
+            loss_of(param, target).backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=0.05)
+
+    def test_adadelta_paper_settings_make_progress(self):
+        param, target = quadratic_problem()
+        optimizer = nn.Adadelta([param], lr=0.02, rho=0.95)
+        initial = loss_of(param, target).item()
+        for _ in range(100):
+            optimizer.zero_grad()
+            loss_of(param, target).backward()
+            optimizer.step()
+        assert loss_of(param, target).item() < initial
+
+
+class TestMechanics:
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    @pytest.mark.parametrize("cls,kwargs", [
+        (nn.SGD, {"lr": -1}),
+        (nn.Adam, {"lr": 0}),
+        (nn.Adadelta, {"lr": -0.1}),
+        (nn.Adadelta, {"rho": 1.5}),
+    ])
+    def test_invalid_hyperparameters(self, cls, kwargs):
+        with pytest.raises(ValueError):
+            cls([nn.Parameter(np.zeros(2))], **kwargs)
+
+    def test_zero_grad_clears(self):
+        param = nn.Parameter(np.ones(3))
+        optimizer = nn.SGD([param], lr=0.1)
+        (param * 2.0).sum().backward()
+        optimizer.zero_grad()
+        assert param.grad is None
+
+    def test_step_skips_parameters_without_grad(self):
+        a = nn.Parameter(np.ones(2))
+        b = nn.Parameter(np.ones(2))
+        optimizer = nn.SGD([a, b], lr=0.5)
+        (a * 1.0).sum().backward()
+        before = b.data.copy()
+        optimizer.step()
+        np.testing.assert_allclose(b.data, before)
+        assert not np.allclose(a.data, np.ones(2))
+
+    def test_weight_decay_shrinks_weights(self):
+        param = nn.Parameter(np.full(3, 10.0))
+        optimizer = nn.SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.zeros(3)
+        optimizer.step()
+        assert (np.abs(param.data) < 10.0).all()
+
+    def test_adam_bias_correction_first_step(self):
+        # after one step with grad g, update magnitude should be ~lr
+        param = nn.Parameter(np.zeros(1))
+        optimizer = nn.Adam([param], lr=0.1)
+        param.grad = np.array([1.0])
+        optimizer.step()
+        np.testing.assert_allclose(param.data, [-0.1], atol=1e-6)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        param = nn.Parameter(np.zeros(3))
+        param.grad = np.array([0.1, 0.1, 0.1])
+        norm = nn.clip_grad_norm([param], max_norm=10.0)
+        np.testing.assert_allclose(param.grad, [0.1, 0.1, 0.1])
+        assert norm == pytest.approx(np.sqrt(0.03))
+
+    def test_clips_to_max_norm(self):
+        param = nn.Parameter(np.zeros(2))
+        param.grad = np.array([3.0, 4.0])  # norm 5
+        nn.clip_grad_norm([param], max_norm=1.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_handles_no_grads(self):
+        assert nn.clip_grad_norm([nn.Parameter(np.zeros(2))], 1.0) == 0.0
+
+    def test_global_norm_across_parameters(self):
+        a = nn.Parameter(np.zeros(1))
+        b = nn.Parameter(np.zeros(1))
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        norm = nn.clip_grad_norm([a, b], max_norm=5.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(a.grad, [3.0])  # exactly at threshold: untouched

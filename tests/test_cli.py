@@ -1,0 +1,50 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_parses(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.dataset == "amazon"
+        assert args.source == "books"
+        assert args.target == "movies"
+        assert args.trials == 1
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--source", "gardening"])
+
+    def test_train_checkpoint_flag(self):
+        args = build_parser().parse_args(["train", "--checkpoint", "/tmp/x"])
+        assert args.checkpoint == "/tmp/x"
+
+
+class TestCommands:
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "OmniMatch" in out
+        assert "amazon" in out
+
+    def test_generate_prints_card(self, capsys):
+        assert main(["generate", "--source", "books", "--target", "movies"]) == 0
+        out = capsys.readouterr().out
+        assert "overlap_users" in out
+        assert "books -> movies" in out
+
+    def test_case_study_prints_trace(self, capsys):
+        assert main(["case-study"]) == 0
+        out = capsys.readouterr().out
+        assert "cold-start user" in out
+        assert "borrowed" in out or "no like-minded" in out

@@ -1,0 +1,42 @@
+"""The examples must at least parse and expose a main() — they are part of
+the public deliverable. (Executing them is covered by the benchmark-scale
+machinery; here we guard against bit-rot cheaply.)"""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_at_least_three_examples(self):
+        assert len(EXAMPLE_FILES) >= 3
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_parses(self, path):
+        tree = ast.parse(path.read_text())
+        assert tree.body, path
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_has_main_and_guard(self, path):
+        source = path.read_text()
+        assert "def main()" in source, path
+        assert '__name__ == "__main__"' in source, path
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), path
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_imports_only_public_api(self, path):
+        """Examples must demo the public surface, not private internals."""
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith("repro"):
+                    parts = node.module.split(".")
+                    assert all(not p.startswith("_") for p in parts), node.module

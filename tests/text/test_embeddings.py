@@ -1,0 +1,92 @@
+"""Unit tests for PPMI-SVD word embeddings."""
+
+import numpy as np
+
+from repro.text import Vocabulary, random_embeddings, train_ppmi_svd_embeddings
+
+
+def corpus():
+    """Two clear topical clusters: fruit words and metal words."""
+    fruit = ["apple", "banana", "cherry"]
+    metal = ["iron", "copper", "zinc"]
+    docs = []
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        group = fruit if rng.random() < 0.5 else metal
+        docs.append(list(rng.choice(group, size=4)))
+    return docs
+
+
+class TestPPMISVD:
+    def test_shape(self):
+        docs = corpus()
+        vocab = Vocabulary.build(docs)
+        table = train_ppmi_svd_embeddings(docs, vocab, dim=8)
+        assert table.shape == (len(vocab), 8)
+
+    def test_pad_row_is_zero(self):
+        docs = corpus()
+        vocab = Vocabulary.build(docs)
+        table = train_ppmi_svd_embeddings(docs, vocab, dim=8)
+        np.testing.assert_allclose(table[vocab.pad_index], 0.0)
+
+    def test_semantic_clusters(self):
+        docs = corpus()
+        vocab = Vocabulary.build(docs)
+        table = train_ppmi_svd_embeddings(docs, vocab, dim=8)
+
+        def cos(a, b):
+            x, y = table[vocab.index_of(a)], table[vocab.index_of(b)]
+            return x @ y / (np.linalg.norm(x) * np.linalg.norm(y) + 1e-12)
+
+        assert cos("apple", "banana") > cos("apple", "iron")
+        assert cos("iron", "copper") > cos("iron", "cherry")
+
+    def test_deterministic(self):
+        docs = corpus()
+        vocab = Vocabulary.build(docs)
+        t1 = train_ppmi_svd_embeddings(docs, vocab, dim=8, seed=3)
+        t2 = train_ppmi_svd_embeddings(docs, vocab, dim=8, seed=3)
+        np.testing.assert_allclose(t1, t2)
+
+    def test_unseen_tokens_get_small_vectors(self):
+        docs = corpus()
+        vocab = Vocabulary.build(docs + [["neverseen"]])
+        # remove the doc so 'neverseen' has no co-occurrences
+        table = train_ppmi_svd_embeddings(docs, vocab, dim=8)
+        vec = table[vocab.index_of("neverseen")]
+        assert 0 < np.linalg.norm(vec) < 0.2
+
+    def test_empty_corpus_falls_back_to_random(self):
+        vocab = Vocabulary.build([["a", "b"]])
+        table = train_ppmi_svd_embeddings([], vocab, dim=4)
+        assert table.shape == (len(vocab), 4)
+        np.testing.assert_allclose(table[vocab.pad_index], 0.0)
+
+    def test_dim_larger_than_vocab_pads_with_zeros(self):
+        docs = [["a", "b"], ["b", "a"]]
+        vocab = Vocabulary.build(docs)
+        table = train_ppmi_svd_embeddings(docs, vocab, dim=32)
+        assert table.shape == (len(vocab), 32)
+
+    def test_invalid_dim(self):
+        vocab = Vocabulary.build([["a"]])
+        import pytest
+
+        with pytest.raises(ValueError):
+            train_ppmi_svd_embeddings([["a"]], vocab, dim=0)
+
+
+class TestRandomEmbeddings:
+    def test_deterministic(self):
+        np.testing.assert_allclose(
+            random_embeddings(10, 4, seed=1), random_embeddings(10, 4, seed=1)
+        )
+
+    def test_pad_zeroed(self):
+        table = random_embeddings(5, 3, pad_index=0)
+        np.testing.assert_allclose(table[0], 0.0)
+
+    def test_no_pad_index(self):
+        table = random_embeddings(5, 3, pad_index=None)
+        assert np.linalg.norm(table[0]) > 0

@@ -1,0 +1,53 @@
+"""Unit tests for tokenization and document construction."""
+
+from repro.text import REVIEW_SEPARATOR, build_document, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Vampire Romance") == ["vampire", "romance"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("Fang-tastic, Fun and Freaky!") == [
+            "fang", "tastic", "fun", "and", "freaky",
+        ]
+
+    def test_preserves_separator_token(self):
+        assert tokenize(f"good {REVIEW_SEPARATOR} bad") == ["good", REVIEW_SEPARATOR, "bad"]
+
+    def test_collapses_whitespace(self):
+        assert tokenize("a   b\t c\nd") == ["a", "b", "c", "d"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_only_punctuation(self):
+        assert tokenize("!!! ... ???") == []
+
+    def test_keeps_digits(self):
+        assert tokenize("5 stars") == ["5", "stars"]
+
+
+class TestBuildDocument:
+    def test_joins_with_separator(self):
+        doc = build_document(["great movie", "boring plot"])
+        assert doc == ["great", "movie", REVIEW_SEPARATOR, "boring", "plot"]
+
+    def test_single_review_has_no_separator(self):
+        assert REVIEW_SEPARATOR not in build_document(["great movie"])
+
+    def test_truncates_to_max_tokens(self):
+        doc = build_document(["a b c", "d e f"], max_tokens=4)
+        assert len(doc) == 4
+        assert doc == ["a", "b", "c", REVIEW_SEPARATOR]
+
+    def test_truncation_short_circuits(self):
+        reviews = iter(["x y z", "should not matter"])
+        assert len(build_document(reviews, max_tokens=2)) == 2
+
+    def test_empty_reviews(self):
+        assert build_document([]) == []
+
+    def test_no_limit_keeps_everything(self):
+        doc = build_document(["a"] * 50)
+        assert len(doc) == 50 + 49  # tokens + separators

@@ -1,0 +1,96 @@
+"""Unit tests for the vocabulary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import PAD_TOKEN, UNK_TOKEN, Vocabulary
+
+
+def build(docs, **kwargs):
+    return Vocabulary.build(docs, **kwargs)
+
+
+class TestBuild:
+    def test_pad_unk_first(self):
+        v = build([["a", "b"]])
+        assert v.token_at(0) == PAD_TOKEN
+        assert v.token_at(1) == UNK_TOKEN
+
+    def test_frequency_ordering(self):
+        v = build([["b", "b", "a", "c", "c", "c"]])
+        assert v.token_at(2) == "c"
+        assert v.token_at(3) == "b"
+
+    def test_alphabetical_tiebreak(self):
+        v = build([["zed", "apple"]])
+        assert v.token_at(2) == "apple"
+
+    def test_max_size_caps(self):
+        v = build([[f"w{i}" for i in range(100)]], max_size=10)
+        assert len(v) == 10
+
+    def test_min_count_filters(self):
+        v = build([["rare", "common", "common"]], min_count=2)
+        assert "rare" not in v
+        assert "common" in v
+
+    def test_specials_always_included(self):
+        v = build([["a"] * 5], max_size=3, specials=["<sp>"])
+        assert "<sp>" in v
+
+    def test_duplicate_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary([PAD_TOKEN, UNK_TOKEN, "a", "a"])
+
+    def test_must_start_with_pad_unk(self):
+        with pytest.raises(ValueError):
+            Vocabulary(["a", "b"])
+
+
+class TestEncodeDecode:
+    def test_unknown_maps_to_unk(self):
+        v = build([["known"]])
+        assert v.index_of("unknown") == v.unk_index
+
+    def test_encode_pads_to_length(self):
+        v = build([["a", "b"]])
+        ids = v.encode(["a"], length=4)
+        assert ids.tolist() == [v.index_of("a"), 0, 0, 0]
+
+    def test_encode_truncates(self):
+        v = build([["a", "b", "c"]])
+        assert len(v.encode(["a", "b", "c"], length=2)) == 2
+
+    def test_encode_dtype(self):
+        v = build([["a"]])
+        assert v.encode(["a"]).dtype == np.int64
+
+    def test_decode_skips_pad(self):
+        v = build([["a"]])
+        ids = v.encode(["a"], length=3)
+        assert v.decode(ids) == ["a"]
+
+    def test_decode_keeps_pad_when_asked(self):
+        v = build([["a"]])
+        ids = v.encode(["a"], length=2)
+        assert v.decode(ids, skip_pad=False) == ["a", PAD_TOKEN]
+
+    def test_roundtrip(self):
+        v = build([["x", "y", "z"]])
+        tokens = ["x", "z", "y"]
+        assert v.decode(v.encode(tokens)) == tokens
+
+    def test_contains(self):
+        v = build([["hello"]])
+        assert "hello" in v
+        assert "goodbye" not in v
+
+    @given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=0, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_encode_always_in_range(self, tokens):
+        v = build([["a", "b"]])
+        ids = v.encode(tokens, length=10)
+        assert len(ids) == 10
+        assert (ids >= 0).all() and (ids < len(v)).all()
