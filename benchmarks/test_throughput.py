@@ -1,0 +1,107 @@
+"""Training-throughput benchmark: fast path vs the legacy reference path.
+
+Both sides train the same model on the same amazon-profile world from the
+same seed; the only differences are the fast-path switches this benchmark
+exists to measure:
+
+* legacy — float64, ``legacy_path=True``: per-sample batch assembly,
+  unfused kernels, ``np.add.at`` scatter (the pre-optimization code path);
+* fast — float32, vectorized document-matrix gathers, fused
+  softmax-cross-entropy / linear+relu, im2col conv with cached workspaces.
+
+Results (overall samples/sec, per-phase breakdown from ``trainer.perf``,
+and the speedup ratio) are printed and written to ``BENCH_throughput.json``
+in the working directory. At full scale the fast path must deliver >= 3x
+the legacy samples/sec; at ``REPRO_BENCH_FAST=1`` scale the run is a smoke
+test and only the report plumbing is asserted.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import OmniMatchTrainer
+from repro.data import cold_start_split, generate_scenario
+from repro.perf import throughput, write_report
+
+from conftest import FAST, SHAPE_ASSERTS, WORLDS, bench_config, run_once
+
+EPOCHS = 2 if FAST else 5
+#: Timed runs per variant; the fastest is reported (timeit-style min, which
+#: strips scheduler / frequency-scaling noise from the single-run ratio).
+RUNS = 1 if FAST else 2
+PHASES = ("batch_assembly", "forward", "backward", "optimizer")
+
+VARIANTS = {
+    "legacy": dict(dtype="float64", legacy_path=True),
+    "fast": dict(dtype="float32", legacy_path=False),
+}
+
+
+def _train_variant(dataset, split, flags) -> dict:
+    best = None
+    for _ in range(RUNS):
+        config = bench_config(epochs=EPOCHS, early_stopping=False, **flags)
+        trainer = OmniMatchTrainer(dataset, split, config)
+        samples = len(split.train_interactions(dataset)) * EPOCHS
+        start = time.perf_counter()
+        result = trainer.fit()
+        seconds = time.perf_counter() - start
+        if best is not None and seconds >= best["seconds"]:
+            continue
+        phase_summary = trainer.perf.summary()
+        best = {
+            "samples": samples,
+            "seconds": seconds,
+            "samples_per_sec": throughput(samples, seconds),
+            "epoch_seconds": [stat.seconds for stat in result.history],
+            "phases": {
+                name: phase_summary[name]["seconds"]
+                for name in PHASES
+                if name in phase_summary
+            },
+        }
+    return best
+
+
+def _run_suite() -> dict:
+    dataset = generate_scenario("amazon", "books", "movies", **WORLDS["amazon"])
+    split = cold_start_split(dataset, seed=0)
+    report = {
+        "world": "amazon books->movies" + (" (FAST)" if FAST else ""),
+        "epochs": EPOCHS,
+        "runs_per_variant": RUNS,
+        "variants": {},
+    }
+    for name, flags in VARIANTS.items():
+        report["variants"][name] = _train_variant(dataset, split, flags)
+    report["speedup"] = (
+        report["variants"]["fast"]["samples_per_sec"]
+        / report["variants"]["legacy"]["samples_per_sec"]
+    )
+    return report
+
+
+def test_throughput(benchmark):
+    report = run_once(benchmark, _run_suite)
+    write_report("BENCH_throughput.json", report)
+
+    print(f"\n=== Training throughput ({report['world']}, {EPOCHS} epochs) ===")
+    header = "variant".ljust(10) + "samples/s".rjust(12) + "seconds".rjust(10)
+    header += "".join(phase.rjust(16) for phase in PHASES)
+    print(header)
+    for name, stats in report["variants"].items():
+        row = name.ljust(10)
+        row += f"{stats['samples_per_sec']:>12.1f}{stats['seconds']:>10.2f}"
+        for phase in PHASES:
+            row += f"{stats['phases'].get(phase, 0.0):>16.3f}"
+        print(row)
+    print(f"speedup (fast vs legacy): {report['speedup']:.2f}x")
+
+    for stats in report["variants"].values():
+        assert stats["samples_per_sec"] > 0
+        assert set(stats["phases"]) == set(PHASES)
+    if SHAPE_ASSERTS:
+        assert report["speedup"] >= 3.0, (
+            f"fast path is only {report['speedup']:.2f}x the legacy path"
+        )

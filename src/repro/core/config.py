@@ -82,7 +82,15 @@ class OmniMatchConfig:
     grad_clip: float = 5.0
     seed: int = 0
 
+    # --- numerics / fast path
+    dtype: str = "float32"  # compute dtype for model + training; 'float64'
+    # recovers the seed numerics (and is what gradcheck uses)
+    legacy_path: bool = False  # True restores the unfused per-sample
+    # reference path — the baseline side of benchmarks/test_throughput.py
+
     def __post_init__(self) -> None:
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError("dtype must be 'float32' or 'float64'")
         if self.field not in ("summary", "text"):
             raise ValueError("field must be 'summary' or 'text'")
         if self.extractor not in ("cnn", "transformer"):

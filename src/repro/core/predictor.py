@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import nn
 from ..data.records import Review
 from .trainer import TrainResult
 
@@ -49,8 +50,13 @@ class ColdStartPredictor:
         return doc
 
     # ------------------------------------------------------------------
+    @nn.no_grad()
     def predict_pairs(self, pairs: list[tuple[str, str]]) -> np.ndarray:
-        """Expected ratings for explicit ``(user_id, item_id)`` pairs."""
+        """Expected ratings for explicit ``(user_id, item_id)`` pairs.
+
+        Runs under :class:`repro.nn.no_grad`: inference never builds tape
+        nodes, so prediction allocates no backward closures.
+        """
         blend = self.model.config.cold_inference in ("blend", "dual")
         predictions = np.empty(len(pairs))
         for start in range(0, len(pairs), self.batch_size):

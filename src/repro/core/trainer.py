@@ -14,26 +14,41 @@ Training data are the *target-domain* interactions of the training
   §4.1 describes, and the largest degradation in Table 5.
 * the item document and the rating class label.
 
-Per-module wall-clock timings are accumulated for the Table 6 reproduction.
+Batch assembly runs on the vectorized fast path by default: documents live
+in the :class:`DocumentMatrices` int32 tensors, per-interaction slot arrays
+are built once per ``fit``, and each batch is a fancy-index gather with the
+aux/dropout mixing decided by one vectorized RNG draw per batch. The draw
+order matches the per-sample legacy path exactly (one double per sample, in
+order), so both paths make identical augmentation choices from the same
+seed. ``config.legacy_path`` restores the per-sample loop and unfused
+kernels — the baseline side of ``benchmarks/test_throughput.py``.
+
+Per-module wall-clock timings are accumulated for the Table 6 reproduction;
+per-phase timings (batch assembly / forward / backward / optimizer) land in
+``trainer.perf`` for the throughput benchmark.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from .. import nn
-from ..data.batching import DocumentStore, iter_batches
+from ..data.batching import DocumentMatrices, DocumentStore, iter_batches
 from ..data.records import CrossDomainDataset, Review
 from ..data.split import ColdStartSplit
+from ..perf import PerfRegistry
 from ..text import train_ppmi_svd_embeddings
 from .auxiliary import AuxiliaryReviewGenerator
 from .config import OmniMatchConfig
 from .model import OmniMatchModel
 
 __all__ = ["EpochStats", "TrainResult", "OmniMatchTrainer"]
+
+BatchArrays = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 
 
 @dataclass
@@ -76,6 +91,7 @@ class OmniMatchTrainer:
         self.split = split
         self.config = config if config is not None else OmniMatchConfig()
         self._rng = np.random.default_rng(self.config.seed)
+        self.perf = PerfRegistry()
 
         self.store = DocumentStore(
             dataset,
@@ -90,7 +106,8 @@ class OmniMatchTrainer:
             dim=self.config.embed_dim,
             seed=self.config.seed,
         )
-        self.model = OmniMatchModel(embedding_table, self.config, self._rng)
+        with nn.default_dtype(self.config.dtype):
+            self.model = OmniMatchModel(embedding_table, self.config, self._rng)
         self.aux_generator = AuxiliaryReviewGenerator(
             dataset,
             allowed_users=split.train_users,
@@ -98,6 +115,8 @@ class OmniMatchTrainer:
             seed=self.config.seed,
         )
         self._aux_doc_cache: dict[str, np.ndarray] = {}
+        self._aux_matrix: np.ndarray | None = None
+        self._aux_filled: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Document assembly
@@ -108,9 +127,68 @@ class OmniMatchTrainer:
             self._aux_doc_cache[user_id] = self.store.encode_reviews(reviews)
         return self._aux_doc_cache[user_id]
 
-    def _batch_arrays(
-        self, batch: list[Review]
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    def _document_matrices(self) -> DocumentMatrices:
+        matrices = self.store.build_matrices()
+        if self._aux_matrix is None:
+            num_users = matrices.source.shape[0]
+            self._aux_matrix = np.zeros(
+                (num_users, self.config.doc_len), dtype=np.int32
+            )
+            self._aux_filled = np.zeros(num_users, dtype=bool)
+        return matrices
+
+    def _fill_aux_rows(self, matrices: DocumentMatrices, user_ids: Sequence[str]) -> None:
+        """Materialize auxiliary-document rows for ``user_ids`` (memoized)."""
+        assert self._aux_matrix is not None and self._aux_filled is not None
+        for user_id in user_ids:
+            slot = matrices.user_slots[user_id]
+            if not self._aux_filled[slot]:
+                self._aux_matrix[slot] = self._auxiliary_doc(user_id)
+                self._aux_filled[slot] = True
+
+    def _mix_and_gather(
+        self,
+        matrices: DocumentMatrices,
+        user_rows: np.ndarray,
+        item_rows: np.ndarray,
+        labels: np.ndarray,
+    ) -> BatchArrays:
+        """Fancy-index gather + vectorized aux/dropout mixing for one batch."""
+        draws = self._rng.random(user_rows.shape[0])
+        source = matrices.source[user_rows]
+        target = matrices.target[user_rows]
+        drop_mask = draws < self.config.target_dropout_prob
+        if self.config.use_auxiliary_reviews and self.config.aux_mix_prob > 0.0:
+            aux_mask = ~drop_mask & (
+                draws < self.config.target_dropout_prob + self.config.aux_mix_prob
+            )
+            if aux_mask.any():
+                target[aux_mask] = self._aux_matrix[user_rows[aux_mask]]
+        if drop_mask.any():
+            target[drop_mask] = 0
+        items = matrices.items[item_rows]
+        return source, target, items, labels
+
+    def _batch_arrays(self, batch: list[Review]) -> BatchArrays:
+        if self.config.legacy_path:
+            return self._batch_arrays_legacy(batch)
+        matrices = self._document_matrices()
+        count = len(batch)
+        user_rows = np.fromiter(
+            (matrices.user_slots[r.user_id] for r in batch), dtype=np.int64, count=count
+        )
+        item_rows = np.fromiter(
+            (matrices.item_slots[r.item_id] for r in batch), dtype=np.int64, count=count
+        )
+        labels = np.fromiter(
+            (r.rating_index for r in batch), dtype=np.int64, count=count
+        )
+        if self.config.use_auxiliary_reviews and self.config.aux_mix_prob > 0.0:
+            self._fill_aux_rows(matrices, [r.user_id for r in batch])
+        return self._mix_and_gather(matrices, user_rows, item_rows, labels)
+
+    def _batch_arrays_legacy(self, batch: list[Review]) -> BatchArrays:
+        """Per-sample reference path (the pre-vectorization implementation)."""
         source_docs = []
         target_docs = []
         item_docs = []
@@ -136,6 +214,45 @@ class OmniMatchTrainer:
             np.stack(item_docs),
             np.asarray(labels, dtype=np.int64),
         )
+
+    def _epoch_batches(self, interactions: Sequence[Review]) -> Iterator[BatchArrays]:
+        """Yield assembled batch arrays for one epoch, timing the assembly."""
+        batch_size = self.config.batch_size
+        if self.config.legacy_path:
+            for batch in iter_batches(interactions, batch_size, self._rng):
+                with self.perf.section("batch_assembly"):
+                    arrays = self._batch_arrays_legacy(batch)
+                yield arrays
+            return
+        with self.perf.section("batch_assembly"):
+            matrices = self._document_matrices()
+            count = len(interactions)
+            user_rows = np.fromiter(
+                (matrices.user_slots[r.user_id] for r in interactions),
+                dtype=np.int64,
+                count=count,
+            )
+            item_rows = np.fromiter(
+                (matrices.item_slots[r.item_id] for r in interactions),
+                dtype=np.int64,
+                count=count,
+            )
+            labels = np.fromiter(
+                (r.rating_index for r in interactions), dtype=np.int64, count=count
+            )
+            if self.config.use_auxiliary_reviews and self.config.aux_mix_prob > 0.0:
+                self._fill_aux_rows(
+                    matrices, {r.user_id for r in interactions}
+                )
+            order = np.arange(count)
+            self._rng.shuffle(order)
+        for start in range(0, count, batch_size):
+            index = order[start : start + batch_size]
+            with self.perf.section("batch_assembly"):
+                arrays = self._mix_and_gather(
+                    matrices, user_rows[index], item_rows[index], labels[index]
+                )
+            yield arrays
 
     # ------------------------------------------------------------------
     # Training loop
@@ -171,45 +288,53 @@ class OmniMatchTrainer:
         best_state: dict | None = None
         stale = 0
         self.model.train()
-        for epoch in range(1, epochs + 1):
-            start = time.perf_counter()
-            sums = {"total": 0.0, "rating": 0.0, "scl": 0.0, "domain": 0.0}
-            batches = 0
-            for batch in iter_batches(interactions, self.config.batch_size, self._rng):
-                arrays = self._batch_arrays(batch)
-                losses = self.model.compute_losses(*arrays)
-                optimizer.zero_grad()
-                losses["total"].backward()
-                nn.clip_grad_norm(self.model.parameters(), self.config.grad_clip)
-                optimizer.step()
-                for key in sums:
-                    sums[key] += losses[key].item()
-                batches += 1
-            seconds = time.perf_counter() - start
-            stats = EpochStats(
-                epoch=epoch,
-                total=sums["total"] / batches,
-                rating=sums["rating"] / batches,
-                scl=sums["scl"] / batches,
-                domain=sums["domain"] / batches,
-                seconds=seconds,
-            )
-            want_valid = self.config.early_stopping or (
-                validate_every and epoch % validate_every == 0
-            )
-            if want_valid:
-                stats.valid_rmse = self._validation_rmse(result)
-            history.append(stats)
-            if self.config.early_stopping and stats.valid_rmse is not None:
-                if stats.valid_rmse < best_rmse - 1e-6:
-                    best_rmse = stats.valid_rmse
-                    best_state = self.model.state_dict()
-                    stale = 0
-                else:
-                    stale += 1
-                    if stale >= self.config.patience:
-                        break
-                self.model.train()
+        previous_fast = nn.set_fast_math(not self.config.legacy_path)
+        try:
+            for epoch in range(1, epochs + 1):
+                start = time.perf_counter()
+                sums = {"total": 0.0, "rating": 0.0, "scl": 0.0, "domain": 0.0}
+                batches = 0
+                for arrays in self._epoch_batches(interactions):
+                    with self.perf.section("forward"):
+                        losses = self.model.compute_losses(*arrays)
+                    with self.perf.section("backward"):
+                        optimizer.zero_grad()
+                        losses["total"].backward()
+                    with self.perf.section("optimizer"):
+                        nn.clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+                        optimizer.step()
+                    for key in sums:
+                        sums[key] += losses[key].item()
+                    batches += 1
+                seconds = time.perf_counter() - start
+                stats = EpochStats(
+                    epoch=epoch,
+                    total=sums["total"] / batches,
+                    rating=sums["rating"] / batches,
+                    scl=sums["scl"] / batches,
+                    domain=sums["domain"] / batches,
+                    seconds=seconds,
+                )
+                want_valid = self.config.early_stopping or (
+                    validate_every and epoch % validate_every == 0
+                )
+                if want_valid:
+                    stats.valid_rmse = self._validation_rmse(result)
+                    # Validation flips the model to eval mode; restore train
+                    # mode for the next epoch regardless of early stopping.
+                    self.model.train()
+                history.append(stats)
+                if self.config.early_stopping and stats.valid_rmse is not None:
+                    if stats.valid_rmse < best_rmse - 1e-6:
+                        best_rmse = stats.valid_rmse
+                        best_state = self.model.state_dict()
+                        stale = 0
+                    else:
+                        stale += 1
+                        if stale >= self.config.patience:
+                            break
+        finally:
+            nn.set_fast_math(previous_fast)
         if best_state is not None:
             self.model.load_state_dict(best_state)
         self.model.eval()

@@ -1,6 +1,6 @@
 """``repro.data`` — review records, synthetic corpora, splits, and batching."""
 
-from .batching import DocumentStore, iter_batches
+from .batching import DocumentMatrices, DocumentStore, iter_batches
 from .io import load_cross_domain_jsonl, load_domain_jsonl, save_domain_jsonl
 from .records import RATING_LEVELS, CrossDomainDataset, DomainData, Review
 from .split import ColdStartSplit, cold_start_split
@@ -27,6 +27,7 @@ __all__ = [
     "TOPICS",
     "generate_scenario",
     "generate_domain_pair",
+    "DocumentMatrices",
     "DocumentStore",
     "iter_batches",
     "load_domain_jsonl",

@@ -13,10 +13,15 @@ token documents the feature extractors consume:
   written by cold-start users are excluded to avoid evaluation leakage.
 
 The vocabulary is likewise built only from visible text.
+
+:meth:`DocumentStore.build_matrices` additionally packs every document into
+contiguous ``int32`` matrices keyed by integer slots, so the trainer's batch
+assembly is a fancy-index gather instead of a per-sample dict-lookup loop.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -25,7 +30,33 @@ from ..text import REVIEW_SEPARATOR, Vocabulary, build_document
 from .records import CrossDomainDataset, Review
 from .split import ColdStartSplit
 
-__all__ = ["DocumentStore", "iter_batches"]
+__all__ = ["DocumentMatrices", "DocumentStore", "iter_batches"]
+
+
+@dataclass(frozen=True)
+class DocumentMatrices:
+    """Contiguous int32 document tensors for vectorized batch assembly.
+
+    ``source`` has a valid row for every user slot. ``target`` rows are only
+    valid for training (non-cold) users — cold slots hold zeros (= padding
+    tokens) and ``target_valid`` is False there, mirroring the protocol that
+    hides cold users' target reviews. ``items`` covers every target item.
+    """
+
+    user_slots: dict[str, int]
+    item_slots: dict[str, int]
+    source: np.ndarray
+    target: np.ndarray
+    target_valid: np.ndarray
+    items: np.ndarray
+
+    def user_slot(self, user_id: str) -> int:
+        """Row index of ``user_id`` in ``source`` / ``target``."""
+        return self.user_slots[user_id]
+
+    def item_slot(self, item_id: str) -> int:
+        """Row index of ``item_id`` in ``items``."""
+        return self.item_slots[item_id]
 
 
 class DocumentStore:
@@ -51,6 +82,7 @@ class DocumentStore:
         self._user_source_cache: dict[str, np.ndarray] = {}
         self._user_target_cache: dict[str, np.ndarray] = {}
         self._item_cache: dict[str, np.ndarray] = {}
+        self._matrices: DocumentMatrices | None = None
 
         corpus = [self._review_text(r) for r in self._visible_reviews()]
         token_docs = [build_document([text]) for text in corpus]
@@ -119,6 +151,47 @@ class DocumentStore:
             ]
             self._item_cache[item_id] = self.encode_reviews(reviews)
         return self._item_cache[item_id]
+
+    # ------------------------------------------------------------------
+    # Vectorized access
+    # ------------------------------------------------------------------
+    def build_matrices(self) -> DocumentMatrices:
+        """Pack every document into contiguous int32 matrices, once.
+
+        User slots cover the union of source- and target-domain users;
+        item slots cover every target-domain item. Repeated calls return
+        the same :class:`DocumentMatrices` instance.
+        """
+        if self._matrices is not None:
+            return self._matrices
+
+        users = sorted(self.dataset.source.users | self.dataset.target.users)
+        items = sorted(self.dataset.target.items)
+        user_slots = {user_id: slot for slot, user_id in enumerate(users)}
+        item_slots = {item_id: slot for slot, item_id in enumerate(items)}
+
+        source = np.zeros((len(users), self.doc_len), dtype=np.int32)
+        target = np.zeros((len(users), self.doc_len), dtype=np.int32)
+        target_valid = np.zeros(len(users), dtype=bool)
+        for user_id, slot in user_slots.items():
+            source[slot] = self.user_source_doc(user_id)
+            if user_id not in self._cold and user_id in self.dataset.target.users:
+                target[slot] = self.user_target_doc(user_id)
+                target_valid[slot] = True
+
+        item_matrix = np.zeros((len(items), self.doc_len), dtype=np.int32)
+        for item_id, slot in item_slots.items():
+            item_matrix[slot] = self.item_doc(item_id)
+
+        self._matrices = DocumentMatrices(
+            user_slots=user_slots,
+            item_slots=item_slots,
+            source=source,
+            target=target,
+            target_valid=target_valid,
+            items=item_matrix,
+        )
+        return self._matrices
 
 
 def iter_batches(

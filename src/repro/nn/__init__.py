@@ -6,7 +6,15 @@ the small slice of PyTorch the paper's implementation relies on.
 """
 
 from .attention import MultiHeadSelfAttention, TransformerEncoder, TransformerEncoderLayer
-from .conv import TextConv, conv1d_text, max_over_time, mean_over_time
+from .conv import (
+    TextConv,
+    clear_conv_workspace,
+    conv1d_text,
+    conv_bank_pool,
+    max_mean_pool,
+    max_over_time,
+    mean_over_time,
+)
 from .layers import MLP, Dropout, Embedding, LayerNorm, Linear, ReLU, Tanh
 from .loss import (
     CrossEntropyLoss,
@@ -14,12 +22,25 @@ from .loss import (
     SupConLoss,
     cross_entropy,
     mse_loss,
+    softmax_cross_entropy,
     supcon_loss,
 )
 from .module import Module, Parameter, Sequential
 from .optim import SGD, Adadelta, Adam, Optimizer, clip_grad_norm
 from .serialization import load_module, save_module
-from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concat,
+    default_dtype,
+    fast_math_enabled,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    set_default_dtype,
+    set_fast_math,
+    stack,
+)
 from . import functional
 from . import init
 
@@ -30,6 +51,15 @@ __all__ = [
     "stack",
     "no_grad",
     "is_grad_enabled",
+    "set_default_dtype",
+    "get_default_dtype",
+    "default_dtype",
+    "set_fast_math",
+    "fast_math_enabled",
+    "clear_conv_workspace",
+    "conv_bank_pool",
+    "max_mean_pool",
+    "softmax_cross_entropy",
     "Module",
     "Parameter",
     "Sequential",

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor
+from .tensor import Tensor, as_tensor, get_default_dtype
 
 __all__ = [
     "relu",
@@ -21,6 +21,7 @@ __all__ = [
     "dropout",
     "gradient_reversal",
     "l2_normalize",
+    "linear_relu",
     "one_hot",
 ]
 
@@ -92,6 +93,36 @@ def gradient_reversal(x: Tensor, lam: float = 1.0) -> Tensor:
     return Tensor._make(x.data.copy(), (x,), backward)
 
 
+def linear_relu(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Fused ``relu(x @ W.T + b)`` with a hand-written backward pass.
+
+    Functionally identical to composing :class:`~repro.nn.Linear` with
+    :func:`relu`, but records one tape node instead of three and reuses the
+    forward activation as the backward mask — the MLP hot path (rating head,
+    domain classifiers, projection head) spends most of its non-GEMM time in
+    tape bookkeeping, which this removes. ``x`` must be 2-D ``(batch, in)``.
+    """
+    if x.data.ndim != 2:
+        raise ValueError(f"linear_relu expects 2-D input, got shape {x.data.shape}")
+    out_data = x.data @ weight.data.T
+    if bias is not None:
+        out_data += bias.data
+    np.maximum(out_data, 0.0, out=out_data)
+    mask = out_data > 0
+
+    def backward(grad: np.ndarray) -> None:
+        masked = grad * mask
+        if x.requires_grad:
+            x._accumulate(masked @ weight.data, owned=True)
+        if weight.requires_grad:
+            weight._accumulate(masked.T @ x.data, owned=True)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(masked.sum(axis=0), owned=True)
+
+    parents = (x, weight) + ((bias,) if bias is not None else ())
+    return Tensor._make(out_data, parents, backward)
+
+
 def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
     """Project rows onto the unit sphere (used before the contrastive loss)."""
     x = as_tensor(x)
@@ -99,11 +130,16 @@ def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
     return x / norm
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+def one_hot(
+    labels: np.ndarray, num_classes: int, dtype: np.dtype | type | None = None
+) -> np.ndarray:
     """Dense one-hot encoding of integer ``labels`` (non-differentiable)."""
     labels = np.asarray(labels, dtype=np.int64)
     if labels.min(initial=0) < 0 or (labels.size and labels.max() >= num_classes):
         raise ValueError("labels out of range for one_hot")
-    out = np.zeros((labels.size, num_classes))
+    out = np.zeros(
+        (labels.size, num_classes),
+        dtype=np.dtype(dtype) if dtype is not None else get_default_dtype(),
+    )
     out[np.arange(labels.size), labels.reshape(-1)] = 1.0
     return out.reshape(*labels.shape, num_classes)

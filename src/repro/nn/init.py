@@ -3,13 +3,26 @@
 All initializers take an explicit :class:`numpy.random.Generator` so that
 every experiment in the benchmark harness is exactly reproducible from its
 seed — there is no hidden global RNG anywhere in ``repro``.
+
+Every initializer accepts a ``dtype``; when omitted, the module default
+(:func:`repro.nn.tensor.get_default_dtype`) applies, so a model built under
+``default_dtype("float32")`` gets float32 parameters throughout. The random
+draws themselves are always made in float64 and cast afterwards, so the
+same seed yields bit-identical values across dtypes (up to rounding).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["xavier_uniform", "kaiming_uniform", "normal", "zeros", "uniform"]
+from .tensor import get_default_dtype
+
+__all__ = ["xavier_uniform", "kaiming_uniform", "normal", "zeros", "ones", "uniform"]
+
+
+def _cast(array: np.ndarray, dtype: np.dtype | type | None) -> np.ndarray:
+    resolved = np.dtype(dtype) if dtype is not None else get_default_dtype()
+    return array.astype(resolved, copy=False)
 
 
 def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
@@ -23,27 +36,50 @@ def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
     return fan_in, fan_out
 
 
-def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+def xavier_uniform(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    gain: float = 1.0,
+    dtype: np.dtype | type | None = None,
+) -> np.ndarray:
     """Glorot & Bengio (2010) uniform initialization."""
     fan_in, fan_out = _fan_in_out(shape)
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return _cast(rng.uniform(-bound, bound, size=shape), dtype)
 
 
-def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def kaiming_uniform(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    dtype: np.dtype | type | None = None,
+) -> np.ndarray:
     """He et al. (2015) uniform initialization, suited to ReLU networks."""
     fan_in, _ = _fan_in_out(shape)
     bound = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    return _cast(rng.uniform(-bound, bound, size=shape), dtype)
 
 
-def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
-    return rng.normal(0.0, std, size=shape)
+def normal(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    std: float = 0.01,
+    dtype: np.dtype | type | None = None,
+) -> np.ndarray:
+    return _cast(rng.normal(0.0, std, size=shape), dtype)
 
 
-def uniform(shape: tuple[int, ...], rng: np.random.Generator, bound: float = 0.05) -> np.ndarray:
-    return rng.uniform(-bound, bound, size=shape)
+def uniform(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    bound: float = 0.05,
+    dtype: np.dtype | type | None = None,
+) -> np.ndarray:
+    return _cast(rng.uniform(-bound, bound, size=shape), dtype)
 
 
-def zeros(shape: tuple[int, ...]) -> np.ndarray:
-    return np.zeros(shape)
+def zeros(shape: tuple[int, ...], dtype: np.dtype | type | None = None) -> np.ndarray:
+    return np.zeros(shape, dtype=np.dtype(dtype) if dtype is not None else get_default_dtype())
+
+
+def ones(shape: tuple[int, ...], dtype: np.dtype | type | None = None) -> np.ndarray:
+    return np.ones(shape, dtype=np.dtype(dtype) if dtype is not None else get_default_dtype())

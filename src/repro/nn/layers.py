@@ -12,7 +12,7 @@ import numpy as np
 from . import functional as F
 from . import init
 from .module import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, fast_math_enabled, get_default_dtype
 
 __all__ = ["Linear", "Embedding", "Dropout", "ReLU", "Tanh", "MLP", "LayerNorm"]
 
@@ -58,7 +58,7 @@ class Embedding(Module):
     ) -> None:
         super().__init__()
         if weights is not None:
-            table = np.asarray(weights, dtype=np.float64).copy()
+            table = np.asarray(weights, dtype=get_default_dtype()).copy()
             if table.shape != (num_embeddings, embedding_dim):
                 raise ValueError(
                     f"weights shape {table.shape} != ({num_embeddings}, {embedding_dim})"
@@ -79,7 +79,9 @@ class Embedding(Module):
             self.weight = Tensor(table)
 
     def forward(self, indices: np.ndarray) -> Tensor:
-        indices = np.asarray(indices, dtype=np.int64)
+        indices = np.asarray(indices)
+        if indices.dtype.kind not in "iu":
+            indices = indices.astype(np.int64)
         if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
             raise IndexError("embedding index out of range")
         return self.weight.take_rows(indices)
@@ -115,8 +117,8 @@ class LayerNorm(Module):
     def __init__(self, dim: int, eps: float = 1e-5) -> None:
         super().__init__()
         self.eps = eps
-        self.gain = Parameter(np.ones(dim))
-        self.shift = Parameter(np.zeros(dim))
+        self.gain = Parameter(init.ones((dim,)))
+        self.shift = Parameter(init.zeros((dim,)))
 
     def forward(self, x: Tensor) -> Tensor:
         mu = x.mean(axis=-1, keepdims=True)
@@ -161,11 +163,16 @@ class MLP(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         last = len(self.linears) - 1
+        fused = fast_math_enabled()
         for index, linear in enumerate(self.linears):
-            x = linear(x)
             if index < last or self.final_activation:
-                x = F.relu(x)
+                if fused and x.data.ndim == 2:
+                    x = F.linear_relu(x, linear.weight, linear.bias)
+                else:
+                    x = F.relu(linear(x))
                 drop = self.dropouts[index]
                 if drop is not None:
                     x = drop(x)
+            else:
+                x = linear(x)
         return x

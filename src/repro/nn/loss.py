@@ -12,30 +12,80 @@ import numpy as np
 
 from . import functional as F
 from .module import Module
-from .tensor import Tensor
+from .tensor import Tensor, fast_math_enabled
 
-__all__ = ["MSELoss", "CrossEntropyLoss", "SupConLoss", "mse_loss", "cross_entropy", "supcon_loss"]
+__all__ = [
+    "MSELoss",
+    "CrossEntropyLoss",
+    "SupConLoss",
+    "mse_loss",
+    "cross_entropy",
+    "softmax_cross_entropy",
+    "supcon_loss",
+]
 
 
 def mse_loss(predicted: Tensor, target: np.ndarray | Tensor) -> Tensor:
     """Mean squared error."""
-    target_data = target.data if isinstance(target, Tensor) else np.asarray(target, dtype=np.float64)
-    diff = predicted - Tensor(target_data)
+    target_data = (
+        target.data
+        if isinstance(target, Tensor)
+        else np.asarray(target, dtype=predicted.data.dtype)
+    )
+    diff = predicted - Tensor(target_data, dtype=predicted.data.dtype)
     return (diff * diff).mean()
+
+
+def _check_logits_labels(logits: Tensor, labels: np.ndarray) -> np.ndarray:
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.data.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if labels.shape != (logits.data.shape[0],):
+        raise ValueError(f"labels shape {labels.shape} incompatible with logits {logits.shape}")
+    return labels
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Fused mean negative log-likelihood with a hand-written backward.
+
+    One tape node replacing the exp / sum / log / gather chain of the
+    composed formulation; the backward is the closed form
+    ``(softmax(logits) - one_hot(labels)) / batch``. Numerically identical
+    to the composed version (same max-shifted logsumexp), but ~5x fewer
+    intermediate arrays on the training hot path.
+    """
+    labels = _check_logits_labels(logits, labels)
+    x = logits.data
+    n = x.shape[0]
+    rows = np.arange(n)
+    shifted = x - x.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    denom = exp.sum(axis=1, keepdims=True)
+    log_likelihood = shifted[rows, labels] - np.log(denom[:, 0])
+    loss = np.asarray(-log_likelihood.mean(), dtype=x.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        probs = exp / denom
+        probs[rows, labels] -= 1.0
+        probs *= np.asarray(grad, dtype=x.dtype) / n
+        logits._accumulate(probs, owned=True)
+
+    return Tensor._make(loss, (logits,), backward)
 
 
 def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
     """Mean negative log-likelihood of integer ``labels`` under ``logits``.
 
     ``logits`` has shape ``(batch, num_classes)``; ``labels`` shape ``(batch,)``.
+    Dispatches to the fused :func:`softmax_cross_entropy` kernel unless fast
+    math is disabled (see :func:`repro.nn.set_fast_math`).
     """
-    labels = np.asarray(labels, dtype=np.int64)
-    if logits.data.ndim != 2:
-        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
-    if labels.shape != (logits.data.shape[0],):
-        raise ValueError(f"labels shape {labels.shape} incompatible with logits {logits.shape}")
+    if fast_math_enabled():
+        return softmax_cross_entropy(logits, labels)
+    labels = _check_logits_labels(logits, labels)
     log_probs = F.log_softmax(logits, axis=-1)
-    picked = (log_probs * Tensor(F.one_hot(labels, logits.data.shape[1]))).sum(axis=-1)
+    one_hot = F.one_hot(labels, logits.data.shape[1], dtype=logits.data.dtype)
+    picked = (log_probs * Tensor(one_hot)).sum(axis=-1)
     return -picked.mean()
 
 
@@ -58,27 +108,30 @@ def supcon_loss(features: Tensor, labels: np.ndarray, temperature: float = 0.07)
     """
     labels = np.asarray(labels).reshape(-1)
     n = features.data.shape[0]
+    dtype = features.data.dtype
     if labels.shape[0] != n:
         raise ValueError("labels must match the batch size")
     if n < 2:
-        return Tensor(0.0)
+        return Tensor(0.0, dtype=dtype)
 
     z = F.l2_normalize(features, axis=-1)
     logits = (z @ z.T) / temperature
 
-    not_self = 1.0 - np.eye(n)
-    pos_mask = (labels[:, None] == labels[None, :]).astype(np.float64) * not_self
+    not_self = 1.0 - np.eye(n, dtype=dtype)
+    pos_mask = (labels[:, None] == labels[None, :]).astype(dtype) * not_self
     pos_counts = pos_mask.sum(axis=1)
     valid = pos_counts > 0
     if not valid.any():
-        return Tensor(0.0)
+        return Tensor(0.0, dtype=dtype)
 
     # Exclude self-similarity from the denominator A(i) = I \ {x_i}.
-    masked_logits = logits + Tensor(np.where(not_self > 0, 0.0, -1e9))
+    masked_logits = logits + Tensor(np.where(not_self > 0, 0.0, -1e9), dtype=dtype)
     log_prob = masked_logits - F.logsumexp(masked_logits, axis=1, keepdims=True)
 
-    per_anchor = (log_prob * Tensor(pos_mask)).sum(axis=1) / Tensor(np.maximum(pos_counts, 1.0))
-    weights = valid.astype(np.float64) / valid.sum()
+    per_anchor = (log_prob * Tensor(pos_mask)).sum(axis=1) / Tensor(
+        np.maximum(pos_counts, 1.0)
+    )
+    weights = (valid / valid.sum()).astype(dtype)
     return -(per_anchor * Tensor(weights)).sum()
 
 

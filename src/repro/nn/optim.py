@@ -145,17 +145,46 @@ class Adadelta(Optimizer):
         self.weight_decay = weight_decay
         self._avg_sq_grad = [np.zeros_like(p.data) for p in self.parameters]
         self._avg_sq_delta = [np.zeros_like(p.data) for p in self.parameters]
+        # Scratch buffers so step() allocates nothing: the update for each
+        # parameter needs two temporaries at a time (numerator / denominator,
+        # then delta / delta**2).
+        self._scratch_a = [np.empty_like(p.data) for p in self.parameters]
+        self._scratch_b = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
-        for param, sq_grad, sq_delta in zip(self.parameters, self._avg_sq_grad, self._avg_sq_delta):
+        rho, eps = self.rho, self.eps
+        for param, sq_grad, sq_delta, a, b in zip(
+            self.parameters,
+            self._avg_sq_grad,
+            self._avg_sq_delta,
+            self._scratch_a,
+            self._scratch_b,
+        ):
             if param.grad is None:
                 continue
             grad = param.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
-            sq_grad *= self.rho
-            sq_grad += (1.0 - self.rho) * grad**2
-            delta = np.sqrt(sq_delta + self.eps) / np.sqrt(sq_grad + self.eps) * grad
-            sq_delta *= self.rho
-            sq_delta += (1.0 - self.rho) * delta**2
-            param.data -= self.lr * delta
+            # In-place formulation of the reference update; the operand
+            # order of every floating-point op matches the textbook
+            # expressions, so results are bit-identical:
+            #   sq_grad  = rho * sq_grad + (1 - rho) * grad**2
+            #   delta    = sqrt(sq_delta + eps) / sqrt(sq_grad + eps) * grad
+            #   sq_delta = rho * sq_delta + (1 - rho) * delta**2
+            #   param   -= lr * delta
+            np.multiply(grad, grad, out=a)
+            a *= 1.0 - rho
+            sq_grad *= rho
+            sq_grad += a
+            np.add(sq_delta, eps, out=a)
+            np.sqrt(a, out=a)
+            np.add(sq_grad, eps, out=b)
+            np.sqrt(b, out=b)
+            a /= b
+            a *= grad  # a == delta
+            sq_delta *= rho
+            np.multiply(a, a, out=b)
+            b *= 1.0 - rho
+            sq_delta += b
+            a *= self.lr
+            param.data -= a

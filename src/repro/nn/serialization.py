@@ -1,4 +1,12 @@
-"""Save / load module parameters as ``.npz`` archives."""
+"""Save / load module parameters as ``.npz`` archives.
+
+Checkpoints store arrays in whatever dtype the model trained in (float32 by
+default for the trainer, float64 for gradcheck-mode models). Loading casts
+each stored array to the receiving parameter's dtype, so checkpoints move
+freely between float32 and float64 models; pass ``dtype`` to
+:func:`load_module` to switch the module itself to a new dtype while
+loading.
+"""
 
 from __future__ import annotations
 
@@ -19,8 +27,21 @@ def save_module(module: "Module", path: str | os.PathLike) -> None:
     np.savez(path, **state)
 
 
-def load_module(module: "Module", path: str | os.PathLike) -> None:
-    """Restore parameters saved by :func:`save_module` into ``module``."""
+def load_module(
+    module: "Module",
+    path: str | os.PathLike,
+    dtype: np.dtype | type | None = None,
+) -> None:
+    """Restore parameters saved by :func:`save_module` into ``module``.
+
+    ``dtype`` (optional) recasts every parameter while loading — e.g. load a
+    float64 checkpoint into a float32 inference model.
+    """
     with np.load(path) as archive:
         state = {name: archive[name] for name in archive.files}
+    if dtype is not None:
+        resolved = np.dtype(dtype)
+        for _, param in module.named_parameters():
+            param.data = param.data.astype(resolved, copy=False)
+        state = {name: value.astype(resolved, copy=False) for name, value in state.items()}
     module.load_state_dict(state)

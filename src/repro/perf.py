@@ -1,0 +1,75 @@
+"""Per-phase timing hooks and throughput reporting.
+
+The trainer wraps each phase of its hot loop — batch assembly, forward,
+backward, optimizer step — in :meth:`PerfRegistry.section`, accumulating
+wall-clock per phase. The throughput benchmark
+(``benchmarks/test_throughput.py``) reads these to decompose epoch time and
+writes ``BENCH_throughput.json`` so every future PR has a perf trajectory
+to regress against; the Table 6 reproduction keeps using the per-epoch
+totals the same registry feeds.
+
+The registry costs two ``perf_counter`` calls per section — negligible next
+to a single batch's GEMMs — so it is always on in the trainer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["PerfRegistry", "throughput", "write_report"]
+
+
+class PerfRegistry:
+    """Accumulates ``{section name: (seconds, calls)}`` wall-clock totals."""
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+        self._calls: dict[str, int] = {}
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name`` (re-entrant per name)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+            self._calls[name] = self._calls.get(name, 0) + 1
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add an externally-measured duration under ``name``."""
+        self._seconds[name] = self._seconds.get(name, 0.0) + float(seconds)
+        self._calls[name] = self._calls.get(name, 0) + 1
+
+    def seconds(self, name: str) -> float:
+        """Total seconds accumulated under ``name`` (0.0 when never hit)."""
+        return self._seconds.get(name, 0.0)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """``{name: {"seconds": ..., "calls": ...}}`` for every section."""
+        return {
+            name: {"seconds": self._seconds[name], "calls": self._calls[name]}
+            for name in self._seconds
+        }
+
+    def reset(self) -> None:
+        """Clear all accumulated totals."""
+        self._seconds.clear()
+        self._calls.clear()
+
+
+def throughput(samples: int, seconds: float) -> float:
+    """Samples per second, 0.0 when no time elapsed."""
+    return samples / seconds if seconds > 0 else 0.0
+
+
+def write_report(path: str | os.PathLike, payload: dict) -> None:
+    """Write a benchmark payload as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -91,6 +91,63 @@ class TestBatchArrays:
         assert trainer._auxiliary_doc(user) is trainer._auxiliary_doc(user)
 
 
+class TestFastPathEquivalence:
+    """The vectorized gather must reproduce the per-sample legacy path."""
+
+    def test_batch_arrays_match_legacy(self, world):
+        dataset, split = world
+        fast = make_trainer(world)
+        legacy = make_trainer(world, legacy_path=True)
+        batch = split.train_interactions(dataset)[:32]
+        for fast_array, legacy_array in zip(
+            fast._batch_arrays(batch), legacy._batch_arrays(batch)
+        ):
+            np.testing.assert_array_equal(fast_array, legacy_array)
+
+    def test_rng_stream_matches_across_batches(self, world):
+        # Same seed, several consecutive batches: the vectorized draws must
+        # consume the RNG exactly like the per-sample scalar draws.
+        dataset, split = world
+        fast = make_trainer(world)
+        legacy = make_trainer(world, legacy_path=True)
+        interactions = split.train_interactions(dataset)
+        for start in range(0, 96, 32):
+            batch = interactions[start : start + 32]
+            for fast_array, legacy_array in zip(
+                fast._batch_arrays(batch), legacy._batch_arrays(batch)
+            ):
+                np.testing.assert_array_equal(fast_array, legacy_array)
+
+
+class TestTrainEvalMode:
+    def test_train_mode_restored_after_validation(self, world):
+        # Regression: train mode was only restored on the early-stopping
+        # branch, so a validation pass that leaves the model in eval mode
+        # (the trainer must not rely on the predictor restoring it) silently
+        # disabled dropout for every later epoch when early stopping is off.
+        trainer = make_trainer(world, epochs=2, early_stopping=False, dropout=0.3)
+        modes = []
+        original = trainer.model.compute_losses
+
+        def spy(*args, **kwargs):
+            modes.append(trainer.model.training)
+            return original(*args, **kwargs)
+
+        def leaky_validation(result):
+            trainer.model.eval()
+            return 1.0
+
+        trainer.model.compute_losses = spy
+        trainer._validation_rmse = leaky_validation
+        trainer.fit(validate_every=1)
+        assert modes and all(modes)
+
+    def test_model_in_eval_mode_after_fit(self, world):
+        trainer = make_trainer(world, epochs=1)
+        trainer.fit()
+        assert not trainer.model.training
+
+
 class TestTrainerErrors:
     def test_empty_train_set_raises(self, world):
         dataset, split = world

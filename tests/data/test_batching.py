@@ -107,6 +107,56 @@ class TestEncoding:
         )
 
 
+class TestDocumentMatrices:
+    def test_memoized(self, world):
+        _, _, store = world
+        assert store.build_matrices() is store.build_matrices()
+
+    def test_shapes_and_dtype(self, world):
+        dataset, _, store = world
+        matrices = store.build_matrices()
+        num_users = len(dataset.source.users | dataset.target.users)
+        num_items = len(dataset.target.items)
+        assert matrices.source.shape == (num_users, 32)
+        assert matrices.target.shape == (num_users, 32)
+        assert matrices.items.shape == (num_items, 32)
+        assert matrices.source.dtype == np.int32
+        assert matrices.target.dtype == np.int32
+        assert matrices.items.dtype == np.int32
+        assert matrices.target_valid.shape == (num_users,)
+
+    def test_rows_match_per_user_docs(self, world):
+        dataset, split, store = world
+        matrices = store.build_matrices()
+        for user in split.train_users[:5]:
+            slot = matrices.user_slot(user)
+            np.testing.assert_array_equal(
+                matrices.source[slot], store.user_source_doc(user)
+            )
+            np.testing.assert_array_equal(
+                matrices.target[slot], store.user_target_doc(user)
+            )
+            assert matrices.target_valid[slot]
+        for item in sorted(dataset.target.items)[:5]:
+            np.testing.assert_array_equal(
+                matrices.items[matrices.item_slot(item)], store.item_doc(item)
+            )
+
+    def test_cold_user_target_rows_blanked(self, world):
+        _, split, store = world
+        matrices = store.build_matrices()
+        for user in split.cold_users[:5]:
+            slot = matrices.user_slot(user)
+            assert not matrices.target_valid[slot]
+            np.testing.assert_allclose(matrices.target[slot], 0)
+
+    def test_slot_tables_cover_everyone(self, world):
+        dataset, _, store = world
+        matrices = store.build_matrices()
+        assert set(matrices.user_slots) == dataset.source.users | dataset.target.users
+        assert set(matrices.item_slots) == dataset.target.items
+
+
 class TestIterBatches:
     def test_covers_all_items_once(self):
         items = list(range(25))

@@ -1,0 +1,73 @@
+"""Exhaustive finite-difference gradient checker for ``repro.nn``.
+
+Unlike the sampled checks in ``test_gradcheck.py``, :func:`gradcheck`
+perturbs *every* element of every input, so inputs should stay small
+(tens of elements). It is the acceptance gate for hand-written backward
+passes: fused kernels with closed-form gradients must agree with central
+differences of their own forward function.
+"""
+
+import numpy as np
+
+import repro.nn as nn
+
+
+def _evaluate(fn, tensors):
+    """Scalar value of ``fn`` at the tensors' current data (no tape)."""
+    with nn.no_grad():
+        out = fn(*tensors)
+        if out.data.ndim != 0:
+            out = out.sum()
+        return float(out.data)
+
+
+def gradcheck(fn, inputs, eps=1e-6, atol=1e-5, rtol=1e-4):
+    """Verify analytic gradients of ``sum(fn(*inputs))`` against central
+    finite differences, element by element.
+
+    Parameters
+    ----------
+    fn:
+        Callable taking the input Tensors and returning a Tensor (any
+        shape; non-scalars are summed).
+    inputs:
+        Tensors to differentiate with respect to. Each must have
+        ``requires_grad=True`` and float64 data — float32 lacks the
+        headroom for ``eps``-sized central differences.
+    eps, atol, rtol:
+        Perturbation size and comparison tolerances.
+
+    Returns True; raises AssertionError with the offending index otherwise.
+    """
+    for tensor in inputs:
+        assert tensor.requires_grad, "gradcheck inputs must require grad"
+        assert tensor.data.dtype == np.float64, (
+            f"gradcheck needs float64 inputs, got {tensor.data.dtype}"
+        )
+        tensor.grad = None
+
+    out = fn(*inputs)
+    if out.data.ndim != 0:
+        out = out.sum()
+    out.backward()
+
+    for arg_index, tensor in enumerate(inputs):
+        analytic = tensor.grad
+        assert analytic is not None, f"input {arg_index} received no gradient"
+        data = tensor.data
+        for flat in range(data.size):
+            index = np.unravel_index(flat, data.shape)
+            original = data[index]
+            data[index] = original + eps
+            plus = _evaluate(fn, inputs)
+            data[index] = original - eps
+            minus = _evaluate(fn, inputs)
+            data[index] = original
+            numeric = (plus - minus) / (2 * eps)
+            got = analytic[index]
+            tol = atol + rtol * abs(numeric)
+            assert abs(got - numeric) <= tol, (
+                f"input {arg_index} grad mismatch at {index}: "
+                f"analytic {got} vs numeric {numeric} (tol {tol})"
+            )
+    return True

@@ -123,6 +123,38 @@ class TestTextConv:
         w = nn.TextConv._window_weights(mask, 2)
         np.testing.assert_allclose(w, [[1.0, 0.5, 0.0]])
 
+    def test_interleaved_same_shape_convs_grads_match_legacy(self):
+        """Two same-shaped convs share a workspace pool; the second forward
+        clobbers the first's columns, forcing the stamped-buffer fallback in
+        backward. Gradients must match the legacy path regardless."""
+        rng = RNG(22)
+        x1 = rng.normal(size=(2, 9, 4))
+        x2 = rng.normal(size=(2, 9, 4))
+        w1 = rng.normal(size=(3, 3, 4))
+        w2 = rng.normal(size=(3, 3, 4))
+        grads = {}
+        for fast in (True, False):
+            previous = nn.set_fast_math(fast)
+            try:
+                nn.clear_conv_workspace()
+                tensors = [nn.Tensor(a.copy(), requires_grad=True) for a in (x1, x2, w1, w2)]
+                t_x1, t_x2, t_w1, t_w2 = tensors
+                out = (nn.conv1d_text(t_x1, t_w1) + nn.conv1d_text(t_x2, t_w2)).sum()
+                out.backward()
+                grads[fast] = [t.grad for t in tensors]
+            finally:
+                nn.set_fast_math(previous)
+        for fast_grad, legacy_grad in zip(grads[True], grads[False]):
+            np.testing.assert_allclose(fast_grad, legacy_grad, rtol=1e-9, atol=1e-11)
+
+    def test_window_weights_from_cumsum_matches_reference(self):
+        mask = (RNG(21).random(size=(3, 11)) < 0.6).astype(np.float32)
+        cumsum = mask.cumsum(axis=1)
+        for k in (1, 2, 3, 5):
+            reference = nn.TextConv._window_weights(mask, k)
+            fast = nn.TextConv._window_weights_from_cumsum(cumsum, k)
+            np.testing.assert_array_equal(fast, reference)
+
     def test_translation_of_pad_does_not_change_max(self):
         """Max pooling over a detected n-gram is position-invariant."""
         conv = nn.TextConv(3, 2, (2,), RNG(7), pooling="max")

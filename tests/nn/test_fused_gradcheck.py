@@ -1,0 +1,317 @@
+"""Exhaustive gradcheck of the fused kernels and gather/reduce backwards.
+
+The fused training kernels (``softmax_cross_entropy``, ``linear_relu``, the
+im2col ``conv1d_text`` path) carry hand-written closed-form backwards; this
+file is their acceptance gate. Every check runs in float64 via
+:func:`tests.nn.gradcheck.gradcheck`; a final class confirms the float32
+mode produces the same gradients to float32-level tolerance and that fused
+and composed formulations agree exactly on values and gradients.
+"""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn import functional as F
+
+from .gradcheck import gradcheck
+
+
+@pytest.fixture(params=[True, False], ids=["fused", "composed"])
+def fast_math(request):
+    previous = nn.set_fast_math(request.param)
+    yield request.param
+    nn.set_fast_math(previous)
+
+
+def tensor(rng, shape, scale=1.0):
+    return nn.Tensor(rng.normal(size=shape) * scale, requires_grad=True)
+
+
+class TestFusedKernels:
+    def test_softmax_cross_entropy(self):
+        rng = np.random.default_rng(0)
+        logits = tensor(rng, (4, 5))
+        labels = rng.integers(0, 5, size=4)
+        gradcheck(lambda t: nn.softmax_cross_entropy(t, labels), [logits])
+
+    def test_cross_entropy_dispatch(self, fast_math):
+        rng = np.random.default_rng(1)
+        logits = tensor(rng, (4, 5))
+        labels = rng.integers(0, 5, size=4)
+        gradcheck(lambda t: nn.cross_entropy(t, labels), [logits])
+
+    def test_linear_relu(self):
+        rng = np.random.default_rng(2)
+        # Keep pre-activations away from the ReLU kink, where central
+        # differences straddle the non-differentiable point.
+        x = tensor(rng, (3, 4))
+        weight = tensor(rng, (5, 4))
+        bias = nn.Tensor(rng.normal(size=5) + 3.0, requires_grad=True)
+        gradcheck(F.linear_relu, [x, weight, bias])
+
+    def test_linear_relu_without_bias(self):
+        rng = np.random.default_rng(3)
+        x = nn.Tensor(rng.normal(size=(3, 4)) + 2.0, requires_grad=True)
+        weight = nn.Tensor(np.abs(rng.normal(size=(5, 4))) + 0.1, requires_grad=True)
+        gradcheck(lambda a, w: F.linear_relu(a, w), [x, weight])
+
+    def test_conv1d_text(self, fast_math):
+        rng = np.random.default_rng(4)
+        x = tensor(rng, (2, 6, 3))
+        weight = tensor(rng, (4, 2, 3))
+        gradcheck(lambda a, w: nn.conv1d_text(a, w), [x, weight])
+
+    def test_conv1d_text_with_bias(self, fast_math):
+        rng = np.random.default_rng(5)
+        x = tensor(rng, (2, 5, 3))
+        weight = tensor(rng, (3, 2, 3))
+        bias = tensor(rng, (3,))
+        gradcheck(nn.conv1d_text, [x, weight, bias])
+
+    def test_conv1d_text_fused_relu(self, fast_math):
+        rng = np.random.default_rng(19)
+        x = tensor(rng, (2, 5, 3))
+        weight = tensor(rng, (3, 2, 3))
+        bias = tensor(rng, (3,))
+        gradcheck(lambda a, w, b: nn.conv1d_text(a, w, b, relu=True), [x, weight, bias])
+
+    def test_conv_relu_fused_matches_composed(self, fast_math):
+        rng = np.random.default_rng(20)
+        x = nn.Tensor(rng.normal(size=(2, 6, 3)), requires_grad=True)
+        w = nn.Tensor(rng.normal(size=(4, 3, 3)), requires_grad=True)
+        fused = nn.conv1d_text(x, w, relu=True)
+        composed = nn.conv1d_text(
+            nn.Tensor(x.data.copy(), requires_grad=True),
+            nn.Tensor(w.data.copy(), requires_grad=True),
+        ).relu()
+        np.testing.assert_allclose(fused.data, composed.data, rtol=1e-12)
+
+
+class TestGatherReduceBackwards:
+    def test_take_rows_repeated_indices(self):
+        rng = np.random.default_rng(6)
+        table = tensor(rng, (5, 3))
+        indices = np.array([0, 2, 2, 4, 0, 0])
+        gradcheck(lambda t: (t.take_rows(indices) * 1.5).sum(), [table])
+
+    def test_take_rows_2d_indices(self):
+        rng = np.random.default_rng(7)
+        table = tensor(rng, (6, 2))
+        indices = np.array([[0, 1, 1], [5, 0, 3]])
+        gradcheck(lambda t: t.take_rows(indices).tanh(), [table])
+
+    def test_getitem_fancy_rows(self):
+        rng = np.random.default_rng(8)
+        x = tensor(rng, (5, 4))
+        index = np.array([1, 1, 3, 0])
+        gradcheck(lambda t: (t[index] ** 2).sum(), [x])
+
+    def test_max_over_axis(self, fast_math):
+        rng = np.random.default_rng(9)
+        x = tensor(rng, (3, 7))
+        gradcheck(lambda t: t.max(axis=1), [x])
+
+    def test_max_keepdims(self, fast_math):
+        rng = np.random.default_rng(10)
+        x = tensor(rng, (2, 4, 3))
+        gradcheck(lambda t: t.max(axis=1, keepdims=True).tanh(), [x])
+
+    def test_mean_over_time_weighted(self, fast_math):
+        rng = np.random.default_rng(18)
+        x = tensor(rng, (2, 5, 3))
+        weights = np.abs(rng.normal(size=(2, 5))) + 0.1
+        gradcheck(lambda t: nn.mean_over_time(t, weights), [x])
+
+    def test_max_mean_pool_weighted(self):
+        rng = np.random.default_rng(21)
+        x = tensor(rng, (2, 5, 3))
+        weights = np.abs(rng.normal(size=(2, 5))) + 0.1
+        gradcheck(lambda t: nn.max_mean_pool(t, weights).tanh(), [x])
+
+    def test_max_mean_pool_unweighted(self):
+        rng = np.random.default_rng(22)
+        x = tensor(rng, (2, 6, 3))
+        gradcheck(lambda t: (nn.max_mean_pool(t) ** 2).sum(), [x])
+
+    def test_conv_bank_pool_gradcheck(self):
+        rng = np.random.default_rng(24)
+        x = tensor(rng, (2, 8, 3))
+        w2 = tensor(rng, (2, 2, 3))
+        w3 = tensor(rng, (2, 3, 3))
+        b2 = tensor(rng, (2,))
+        b3 = tensor(rng, (2,))
+        wts = [np.abs(rng.normal(size=(2, 8 - k + 1))) + 0.1 for k in (2, 3)]
+        gradcheck(
+            lambda a, u, v, p, q: nn.conv_bank_pool(
+                a, [u, v], [p, q], pooling="max_mean", window_weights=wts
+            ).tanh(),
+            [x, w2, w3, b2, b3],
+        )
+
+    @pytest.mark.parametrize("pooling", ["max", "mean", "max_mean"])
+    def test_conv_bank_pool_matches_composed(self, pooling):
+        rng = np.random.default_rng(25)
+        data = rng.normal(size=(3, 9, 4))
+        kernels = (2, 4)
+        mask = (rng.random(size=(3, 9)) < 0.8).astype(np.float64)
+        arrays = [data] + [rng.normal(size=(2, k, 4)) for k in kernels] + [
+            rng.normal(size=2) for _ in kernels
+        ]
+
+        def bank(a, u, v, p, q):
+            wts = [nn.TextConv._window_weights(mask, k) for k in kernels]
+            return nn.conv_bank_pool(
+                a, [u, v], [p, q], pooling=pooling, window_weights=wts
+            )
+
+        def composed(a, u, v, p, q):
+            pooled = []
+            for w, b, k in zip((u, v), (p, q), kernels):
+                fmap = nn.conv1d_text(a, w, b, relu=True)
+                if pooling in ("max", "max_mean"):
+                    pooled.append(nn.max_over_time(fmap))
+                if pooling in ("mean", "max_mean"):
+                    pooled.append(
+                        nn.mean_over_time(fmap, nn.TextConv._window_weights(mask, k))
+                    )
+            return nn.concat(pooled, axis=1)
+
+        previous = nn.set_fast_math(False)
+        try:
+            grads = {}
+            values = {}
+            for name, fn in (("bank", bank), ("composed", composed)):
+                tensors = [nn.Tensor(a.copy(), requires_grad=True) for a in arrays]
+                out = fn(*tensors)
+                values[name] = out.data
+                out.sum().backward()
+                grads[name] = [t.grad for t in tensors]
+        finally:
+            nn.set_fast_math(previous)
+        np.testing.assert_allclose(values["bank"], values["composed"], rtol=1e-9, atol=1e-12)
+        for bank_grad, composed_grad in zip(grads["bank"], grads["composed"]):
+            np.testing.assert_allclose(bank_grad, composed_grad, rtol=1e-8, atol=1e-11)
+
+    def test_max_mean_pool_matches_composed(self):
+        rng = np.random.default_rng(23)
+        data = rng.normal(size=(3, 7, 4))
+        weights = np.abs(rng.normal(size=(3, 7))) + 0.1
+        fused_x = nn.Tensor(data.copy(), requires_grad=True)
+        nn.max_mean_pool(fused_x, weights).sum().backward()
+        composed_x = nn.Tensor(data.copy(), requires_grad=True)
+        nn.concat(
+            [
+                nn.max_over_time(composed_x),
+                nn.mean_over_time(composed_x, weights),
+            ],
+            axis=1,
+        ).sum().backward()
+        np.testing.assert_allclose(fused_x.grad, composed_x.grad, rtol=1e-12)
+
+    def test_concat(self):
+        rng = np.random.default_rng(11)
+        a = tensor(rng, (2, 3))
+        b = tensor(rng, (2, 4))
+        gradcheck(lambda u, v: (nn.concat([u, v], axis=1) ** 2).sum(), [a, b])
+
+
+class TestFusedComposedEquivalence:
+    """Fused kernels must match their composed formulations bit-for-bit in
+    values and to float tolerance in gradients."""
+
+    def _grads(self, fn, arrays):
+        tensors = [nn.Tensor(a.copy(), requires_grad=True) for a in arrays]
+        out = fn(*tensors)
+        if out.data.ndim != 0:
+            out = out.sum()
+        out.backward()
+        return float(out.data), [t.grad for t in tensors]
+
+    def test_cross_entropy_fused_matches_composed(self):
+        rng = np.random.default_rng(12)
+        logits = rng.normal(size=(8, 5))
+        labels = rng.integers(0, 5, size=8)
+        previous = nn.set_fast_math(True)
+        try:
+            fused_val, (fused_grad,) = self._grads(
+                lambda t: nn.cross_entropy(t, labels), [logits]
+            )
+            nn.set_fast_math(False)
+            composed_val, (composed_grad,) = self._grads(
+                lambda t: nn.cross_entropy(t, labels), [logits]
+            )
+        finally:
+            nn.set_fast_math(previous)
+        np.testing.assert_allclose(fused_val, composed_val, rtol=1e-12)
+        np.testing.assert_allclose(fused_grad, composed_grad, rtol=1e-10, atol=1e-12)
+
+    def test_linear_relu_matches_composed(self):
+        rng = np.random.default_rng(13)
+        x = rng.normal(size=(6, 4))
+        w = rng.normal(size=(3, 4))
+        b = rng.normal(size=3)
+        fused_val, fused_grads = self._grads(F.linear_relu, [x, w, b])
+        composed_val, composed_grads = self._grads(
+            lambda a, wt, bt: F.relu(a @ wt.T + bt), [x, w, b]
+        )
+        np.testing.assert_allclose(fused_val, composed_val, rtol=1e-12)
+        for fused, composed in zip(fused_grads, composed_grads):
+            np.testing.assert_allclose(fused, composed, rtol=1e-10, atol=1e-12)
+
+    def test_conv_fast_matches_legacy(self):
+        rng = np.random.default_rng(14)
+        x = rng.normal(size=(3, 8, 4))
+        w = rng.normal(size=(5, 3, 4))
+        previous = nn.set_fast_math(True)
+        try:
+            fast_val, fast_grads = self._grads(
+                lambda a, wt: nn.conv1d_text(a, wt), [x, w]
+            )
+            nn.set_fast_math(False)
+            legacy_val, legacy_grads = self._grads(
+                lambda a, wt: nn.conv1d_text(a, wt), [x, w]
+            )
+        finally:
+            nn.set_fast_math(previous)
+        np.testing.assert_allclose(fast_val, legacy_val, rtol=1e-10)
+        for fast, legacy in zip(fast_grads, legacy_grads):
+            np.testing.assert_allclose(fast, legacy, rtol=1e-9, atol=1e-11)
+
+
+class TestFloat32Mode:
+    """float32 graphs produce the float64 gradients to float32 tolerance."""
+
+    def _float32_vs_float64(self, fn, arrays, rtol=2e-3, atol=2e-4):
+        grads = {}
+        for dtype in (np.float64, np.float32):
+            tensors = [
+                nn.Tensor(a.astype(dtype), requires_grad=True) for a in arrays
+            ]
+            out = fn(*tensors)
+            if out.data.ndim != 0:
+                out = out.sum()
+            assert out.data.dtype == dtype
+            out.backward()
+            grads[dtype] = [t.grad for t in tensors]
+        for g32, g64 in zip(grads[np.float32], grads[np.float64]):
+            assert g32.dtype == np.float32
+            np.testing.assert_allclose(g32, g64, rtol=rtol, atol=atol)
+
+    def test_softmax_cross_entropy_float32(self):
+        rng = np.random.default_rng(15)
+        logits = rng.normal(size=(8, 5))
+        labels = rng.integers(0, 5, size=8)
+        self._float32_vs_float64(
+            lambda t: nn.softmax_cross_entropy(t, labels), [logits]
+        )
+
+    def test_linear_relu_float32(self):
+        rng = np.random.default_rng(16)
+        arrays = [rng.normal(size=(6, 4)), rng.normal(size=(3, 4)), rng.normal(size=3)]
+        self._float32_vs_float64(F.linear_relu, arrays)
+
+    def test_conv1d_text_float32(self):
+        rng = np.random.default_rng(17)
+        arrays = [rng.normal(size=(2, 9, 4)), rng.normal(size=(3, 4, 4))]
+        self._float32_vs_float64(lambda a, w: nn.conv1d_text(a, w), arrays)

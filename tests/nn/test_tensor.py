@@ -223,9 +223,28 @@ class TestReductions:
         np.testing.assert_allclose(x.grad, [[0.0, 1.0, 0.0]])
 
     def test_max_ties_split_gradient(self):
-        x = Tensor(np.array([[3.0, 3.0]]), requires_grad=True)
-        x.max(axis=1).sum().backward()
-        np.testing.assert_allclose(x.grad, [[0.5, 0.5]])
+        # Tie-splitting is the reference-path behavior; fast math routes the
+        # whole gradient to the first argmax (both are valid subgradients).
+        import repro.nn as nn
+
+        previous = nn.set_fast_math(False)
+        try:
+            x = Tensor(np.array([[3.0, 3.0]]), requires_grad=True)
+            x.max(axis=1).sum().backward()
+            np.testing.assert_allclose(x.grad, [[0.5, 0.5]])
+        finally:
+            nn.set_fast_math(previous)
+
+    def test_max_ties_fast_math_picks_argmax(self):
+        import repro.nn as nn
+
+        previous = nn.set_fast_math(True)
+        try:
+            x = Tensor(np.array([[3.0, 3.0]]), requires_grad=True)
+            x.max(axis=1).sum().backward()
+            np.testing.assert_allclose(x.grad, [[1.0, 0.0]])
+        finally:
+            nn.set_fast_math(previous)
 
     def test_min(self):
         x = Tensor(np.array([[4.0, 1.0]]), requires_grad=True)

@@ -1,0 +1,73 @@
+"""Unit tests for the per-phase timing registry."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.perf import PerfRegistry, throughput, write_report
+
+
+class TestPerfRegistry:
+    def test_section_accumulates(self):
+        registry = PerfRegistry()
+        with registry.section("work"):
+            pass
+        with registry.section("work"):
+            pass
+        summary = registry.summary()
+        assert summary["work"]["calls"] == 2
+        assert summary["work"]["seconds"] >= 0.0
+
+    def test_section_records_on_exception(self):
+        registry = PerfRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.section("boom"):
+                raise RuntimeError
+        assert registry.summary()["boom"]["calls"] == 1
+
+    def test_record_and_seconds(self):
+        registry = PerfRegistry()
+        registry.record("phase", 1.5)
+        registry.record("phase", 0.5)
+        assert registry.seconds("phase") == pytest.approx(2.0)
+        assert registry.seconds("missing") == 0.0
+
+    def test_reset(self):
+        registry = PerfRegistry()
+        registry.record("phase", 1.0)
+        registry.reset()
+        assert registry.summary() == {}
+
+    def test_trainer_populates_sections(self):
+        from repro.core import OmniMatchConfig, OmniMatchTrainer
+        from repro.data import GeneratorConfig, cold_start_split, generate_domain_pair
+
+        dataset = generate_domain_pair(
+            "books", "movies",
+            GeneratorConfig(num_users=60, num_items_per_domain=30,
+                            reviews_per_user_mean=4.0, seed=3),
+        )
+        split = cold_start_split(dataset, seed=0)
+        config = OmniMatchConfig(
+            embed_dim=12, num_filters=4, kernel_sizes=(2,), invariant_dim=8,
+            specific_dim=8, projection_dim=6, doc_len=16, vocab_size=200,
+            epochs=1, early_stopping=False,
+        )
+        trainer = OmniMatchTrainer(dataset, split, config)
+        trainer.fit()
+        summary = trainer.perf.summary()
+        for phase in ("batch_assembly", "forward", "backward", "optimizer"):
+            assert phase in summary, phase
+            assert summary[phase]["calls"] >= 1
+
+
+class TestReporting:
+    def test_throughput(self):
+        assert throughput(100, 2.0) == pytest.approx(50.0)
+        assert throughput(100, 0.0) == 0.0
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_report(path, {"samples_per_sec": np.float64(12.5).item()})
+        assert json.loads(path.read_text())["samples_per_sec"] == 12.5
