@@ -1,0 +1,85 @@
+"""Crash-safe file writes and content digests.
+
+Every durable artifact the training runtime produces (checkpoint payloads,
+manifests, exported datasets) goes through :func:`atomic_write_bytes`:
+the bytes land in a temporary file in the *same directory*, are flushed and
+``fsync``-ed, and only then renamed over the destination. A reader therefore
+observes either the old file or the complete new file — never a torn write —
+and a process killed mid-write leaves the destination untouched.
+
+The SHA-256 helpers back the checkpoint manifest: digests are computed over
+the exact bytes written, so any later bit-flip or truncation is detectable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_directory",
+    "sha256_bytes",
+    "sha256_file",
+]
+
+
+def fsync_directory(path: str | os.PathLike) -> None:
+    """Flush a directory entry so a preceding rename survives power loss.
+
+    Best-effort: platforms that cannot ``fsync`` a directory (or open one
+    read-only) simply skip the flush — atomicity of the rename still holds.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + fsync + rename)."""
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+    fsync_directory(path.parent)
+
+
+def atomic_write_text(path: str | os.PathLike, text: str) -> None:
+    """UTF-8 convenience wrapper over :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def sha256_bytes(data: bytes) -> str:
+    """Hex SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_file(path: str | os.PathLike, chunk_size: int = 1 << 20) -> str:
+    """Hex SHA-256 digest of a file, streamed in ``chunk_size`` blocks."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()

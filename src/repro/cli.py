@@ -61,7 +61,19 @@ def build_parser() -> argparse.ArgumentParser:
     train = sub.add_parser("train", help="train OmniMatch and score cold-start users")
     add_scenario_args(train)
     train.add_argument("--epochs", type=int, default=25)
-    train.add_argument("--checkpoint", default=None, help="directory to save the model")
+    train.add_argument("--checkpoint", default=None, metavar="DIR",
+                       help="directory to save the final model (and, with "
+                            "--checkpoint-every, periodic training checkpoints)")
+    train.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                       help="write a crash-safe training checkpoint every N "
+                            "epochs under the --checkpoint directory")
+    train.add_argument("--keep-last", type=int, default=3, metavar="K",
+                       help="retain only the K newest periodic checkpoints "
+                            "(the best-by-validation one is always kept)")
+    train.add_argument("--resume", default=None, metavar="DIR",
+                       help="resume training from a checkpoint directory (or "
+                            "pick the newest valid checkpoint in a run "
+                            "directory); requires identical scenario flags")
 
     case = sub.add_parser("case-study", help="auxiliary-review trace for one cold user")
     add_scenario_args(case)
@@ -94,10 +106,21 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    if args.checkpoint_every and not args.checkpoint:
+        raise SystemExit("--checkpoint-every requires --checkpoint DIR")
     dataset = generate_scenario(args.dataset, args.source, args.target)
     split = cold_start_split(dataset, seed=args.seed)
     config = OmniMatchConfig(epochs=args.epochs, seed=args.seed)
-    result = OmniMatchTrainer(dataset, split, config).fit()
+    fit_kwargs: dict = {}
+    if args.checkpoint_every:
+        fit_kwargs.update(
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint,
+            keep_last=args.keep_last,
+        )
+    if args.resume:
+        fit_kwargs["resume_from"] = args.resume
+    result = OmniMatchTrainer(dataset, split, config).fit(**fit_kwargs)
     predictor = ColdStartPredictor(result)
     test = split.eval_interactions(dataset, "test")
     predicted = predictor.predict_interactions(test)
@@ -105,6 +128,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(f"trained {len(result.history)} epochs "
           f"({result.train_seconds:.1f}s); cold-start test: "
           f"RMSE={rmse(actual, predicted):.3f} MAE={mae(actual, predicted):.3f}")
+    recoveries = [e for e in result.health
+                  if e.kind in ("nonfinite_loss", "nonfinite_grad", "rollback",
+                                "lr_backoff", "kernel_fallback")]
+    if recoveries:
+        kinds = ", ".join(sorted({e.kind for e in recoveries}))
+        print(f"run health: {len(recoveries)} divergence-recovery event(s) [{kinds}]")
     if args.checkpoint:
         save_checkpoint(result, args.checkpoint)
         print(f"checkpoint saved to {args.checkpoint}")

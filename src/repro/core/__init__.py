@@ -1,14 +1,31 @@
 """``repro.core`` — the OmniMatch model, its modules, trainer, and predictor."""
 
 from .adversarial import DomainAdversary, mmd_rbf
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import (
+    CheckpointCorruptionError,
+    CheckpointError,
+    TrainingCheckpoint,
+    find_latest_checkpoint,
+    load_checkpoint,
+    prune_checkpoints,
+    read_training_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+    write_training_checkpoint,
+)
 from .auxiliary import AuxiliaryReviewGenerator, AuxiliarySelection
 from .config import OmniMatchConfig
 from .contrastive import ContrastiveModule
 from .extractors import DocumentEncoder, ItemFeatureExtractor, UserFeatureExtractor
 from .model import RATING_VALUES, OmniMatchModel
 from .predictor import ColdStartPredictor
-from .trainer import EpochStats, OmniMatchTrainer, TrainResult
+from .trainer import (
+    EpochStats,
+    HealthEvent,
+    OmniMatchTrainer,
+    TrainingDivergedError,
+    TrainResult,
+)
 
 __all__ = [
     "OmniMatchConfig",
@@ -25,7 +42,17 @@ __all__ = [
     "OmniMatchTrainer",
     "TrainResult",
     "EpochStats",
+    "HealthEvent",
+    "TrainingDivergedError",
     "ColdStartPredictor",
     "save_checkpoint",
     "load_checkpoint",
+    "CheckpointError",
+    "CheckpointCorruptionError",
+    "TrainingCheckpoint",
+    "write_training_checkpoint",
+    "read_training_checkpoint",
+    "verify_checkpoint",
+    "find_latest_checkpoint",
+    "prune_checkpoints",
 ]

@@ -82,6 +82,15 @@ class OmniMatchConfig:
     grad_clip: float = 5.0
     seed: int = 0
 
+    # --- robustness / divergence recovery
+    max_divergence_retries: int = 3  # total rollback+retry budget per fit();
+    # exhausting it raises TrainingDivergedError instead of looping forever
+    lr_backoff_factor: float = 0.5  # learning-rate multiplier applied on each
+    # rollback; the reduced rate persists for the rest of the run
+    divergence_kernel_fallback: bool = True  # retry a rolled-back epoch on the
+    # reference (non-fast-math) kernels before returning to the fused path —
+    # graceful degradation when float32 fast math itself is the culprit
+
     # --- numerics / fast path
     dtype: str = "float32"  # compute dtype for model + training; 'float64'
     # recovers the seed numerics (and is what gradcheck uses)
@@ -107,3 +116,7 @@ class OmniMatchConfig:
             raise ValueError("kernel sizes must be positive")
         if self.doc_len < max(self.kernel_sizes):
             raise ValueError("doc_len must be at least the largest kernel size")
+        if self.max_divergence_retries < 0:
+            raise ValueError("max_divergence_retries must be non-negative")
+        if not 0.0 < self.lr_backoff_factor <= 1.0:
+            raise ValueError("lr_backoff_factor must be in (0, 1]")

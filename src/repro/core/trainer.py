@@ -30,9 +30,11 @@ per-phase timings (batch assembly / forward / backward / optimizer) land in
 
 from __future__ import annotations
 
+import os
 import time
-from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
 
@@ -46,7 +48,16 @@ from .auxiliary import AuxiliaryReviewGenerator
 from .config import OmniMatchConfig
 from .model import OmniMatchModel
 
-__all__ = ["EpochStats", "TrainResult", "OmniMatchTrainer"]
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (faults imports nothing here)
+    from ..faults import FaultInjector
+
+__all__ = [
+    "EpochStats",
+    "HealthEvent",
+    "TrainResult",
+    "TrainingDivergedError",
+    "OmniMatchTrainer",
+]
 
 BatchArrays = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 
@@ -65,6 +76,37 @@ class EpochStats:
 
 
 @dataclass
+class HealthEvent:
+    """One entry in the structured run-health log.
+
+    ``kind`` is one of ``nonfinite_loss`` / ``nonfinite_grad`` (detection),
+    ``rollback`` / ``lr_backoff`` / ``kernel_fallback`` (recovery actions),
+    ``checkpoint`` (a training checkpoint was written), or ``resume``
+    (training restarted from a checkpoint).
+    """
+
+    epoch: int
+    kind: str
+    batch: int | None = None
+    value: float | None = None
+    detail: str = ""
+
+
+class TrainingDivergedError(RuntimeError):
+    """Training hit non-finite numerics and exhausted its retry budget."""
+
+
+class _DivergenceDetected(Exception):
+    """Internal signal: a batch produced a non-finite loss or gradient."""
+
+    def __init__(self, kind: str, batch: int, value: float) -> None:
+        super().__init__(kind)
+        self.kind = kind
+        self.batch = batch
+        self.value = value
+
+
+@dataclass
 class TrainResult:
     """Everything a caller needs after training."""
 
@@ -72,6 +114,7 @@ class TrainResult:
     store: DocumentStore
     aux_generator: AuxiliaryReviewGenerator
     history: list[EpochStats] = field(default_factory=list)
+    health: list[HealthEvent] = field(default_factory=list)
 
     @property
     def train_seconds(self) -> float:
@@ -257,7 +300,17 @@ class OmniMatchTrainer:
     # ------------------------------------------------------------------
     # Training loop
     # ------------------------------------------------------------------
-    def fit(self, epochs: int | None = None, validate_every: int = 0) -> TrainResult:
+    def fit(
+        self,
+        epochs: int | None = None,
+        validate_every: int = 0,
+        *,
+        resume_from: str | os.PathLike | None = None,
+        checkpoint_every: int = 0,
+        checkpoint_dir: str | os.PathLike | None = None,
+        keep_last: int = 3,
+        fault_injector: "FaultInjector | None" = None,
+    ) -> TrainResult:
         """Train for up to ``epochs`` (default: config.epochs) and return artifacts.
 
         With ``config.early_stopping`` (default), validation RMSE over the
@@ -265,11 +318,51 @@ class OmniMatchTrainer:
         after ``config.patience`` epochs without improvement, and the best
         epoch's parameters are restored. ``validate_every`` > 0 additionally
         records validation RMSE on those epochs when early stopping is off.
+
+        Fault tolerance
+        ---------------
+        ``checkpoint_every`` > 0 writes a crash-safe training checkpoint
+        (model, optimizer, RNG state, early-stopping bookkeeping, history)
+        under ``checkpoint_dir`` every that many epochs, plus at the final
+        epoch; ``keep_last`` bounds how many periodic checkpoints are
+        retained (the best-by-validation-RMSE checkpoint under ``best/`` is
+        always kept). ``resume_from`` restores full training state from a
+        checkpoint directory — or picks the newest *valid* checkpoint inside
+        a run directory — and continues toward ``epochs``; a resumed run is
+        bit-identical to the same run left uninterrupted, provided the
+        trainer was built from the same ``(dataset, split, config)``.
+
+        Every batch is guarded against non-finite numerics: a NaN/Inf loss
+        or post-clip gradient norm rolls the run back to the start of the
+        epoch, backs the learning rate off by ``config.lr_backoff_factor``,
+        and (optionally) retries the epoch on the reference kernels; the
+        retry budget is ``config.max_divergence_retries``, after which
+        :class:`TrainingDivergedError` is raised. Every detection and
+        recovery action lands in ``TrainResult.health``.
+
+        ``fault_injector`` is a test-harness hook (see :mod:`repro.faults`).
         """
+        from . import checkpoint as ckpt_io  # local import: cycle guard
+
         epochs = epochs if epochs is not None else self.config.epochs
         interactions = self.split.train_interactions(self.dataset)
         if not interactions:
             raise ValueError("no training interactions: split produced an empty train set")
+        if self.config.early_stopping and not self.split.eval_interactions(
+            self.dataset, "valid"
+        ):
+            raise ValueError(
+                "early_stopping is enabled but the validation split is empty: "
+                "validation RMSE would be NaN every epoch and training would "
+                f"silently stop after patience={self.config.patience} epochs. "
+                "Disable early_stopping or use a split with validation users."
+            )
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        if checkpoint_every and checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+        if checkpoint_every and keep_last < 1:
+            raise ValueError("keep_last must be at least 1")
 
         if self.config.optimizer == "adam":
             optimizer = nn.Adam(self.model.parameters(), lr=1e-3)
@@ -280,41 +373,100 @@ class OmniMatchTrainer:
                 rho=self.config.rho,
             )
         history: list[EpochStats] = []
+        health: list[HealthEvent] = []
         result = TrainResult(
             model=self.model, store=self.store, aux_generator=self.aux_generator,
-            history=history,
+            history=history, health=health,
         )
         best_rmse = float("inf")
         best_state: dict | None = None
         stale = 0
+        start_epoch = 1
+        if resume_from is not None:
+            loaded, loaded_path = self._load_resume_state(resume_from)
+            # ``epochs`` only bounds the loop (the target count is the
+            # ``epochs`` argument) — resuming to train *further* is the
+            # point of checkpointing, so it is exempt from the drift check.
+            mismatched = [
+                f.name for f in fields(OmniMatchConfig)
+                if f.name != "epochs"
+                and getattr(loaded.config, f.name) != getattr(self.config, f.name)
+            ]
+            if mismatched:
+                raise ckpt_io.CheckpointError(
+                    f"{loaded_path}: checkpoint config differs from the "
+                    f"trainer's config in: {', '.join(mismatched)} — resume "
+                    "requires the exact (dataset, split, config) the "
+                    "checkpoint was trained with"
+                )
+            self.model.load_state_dict(loaded.model_state)
+            optimizer.load_state_dict(loaded.optimizer_state)
+            self._rng.bit_generator.state = loaded.rng_state
+            history.extend(loaded.history)
+            health.extend(loaded.health)
+            best_rmse = loaded.best_rmse
+            best_state = loaded.best_state
+            stale = loaded.stale
+            start_epoch = loaded.epoch + 1
+            health.append(HealthEvent(
+                epoch=loaded.epoch, kind="resume",
+                detail=f"resumed from {loaded_path}",
+            ))
+
+        retries_left = self.config.max_divergence_retries
+        fallback_next = False
         self.model.train()
         previous_fast = nn.set_fast_math(not self.config.legacy_path)
         try:
-            for epoch in range(1, epochs + 1):
-                start = time.perf_counter()
-                sums = {"total": 0.0, "rating": 0.0, "scl": 0.0, "domain": 0.0}
-                batches = 0
-                for arrays in self._epoch_batches(interactions):
-                    with self.perf.section("forward"):
-                        losses = self.model.compute_losses(*arrays)
-                    with self.perf.section("backward"):
-                        optimizer.zero_grad()
-                        losses["total"].backward()
-                    with self.perf.section("optimizer"):
-                        nn.clip_grad_norm(self.model.parameters(), self.config.grad_clip)
-                        optimizer.step()
-                    for key in sums:
-                        sums[key] += losses[key].item()
-                    batches += 1
-                seconds = time.perf_counter() - start
-                stats = EpochStats(
-                    epoch=epoch,
-                    total=sums["total"] / batches,
-                    rating=sums["rating"] / batches,
-                    scl=sums["scl"] / batches,
-                    domain=sums["domain"] / batches,
-                    seconds=seconds,
-                )
+            epoch = start_epoch
+            while epoch <= epochs:
+                if self.config.early_stopping and stale >= self.config.patience:
+                    break
+                snapshot = self._capture_state(optimizer)
+                use_fallback = fallback_next
+                fallback_next = False
+                if use_fallback:
+                    health.append(HealthEvent(
+                        epoch=epoch, kind="kernel_fallback",
+                        detail="retrying epoch on reference (non-fast-math) kernels",
+                    ))
+                try:
+                    was_fast = nn.set_fast_math(False) if use_fallback else None
+                    try:
+                        stats = self._run_epoch(
+                            epoch, interactions, optimizer, fault_injector
+                        )
+                    finally:
+                        if use_fallback:
+                            nn.set_fast_math(was_fast)
+                except _DivergenceDetected as detected:
+                    health.append(HealthEvent(
+                        epoch=epoch, kind=detected.kind, batch=detected.batch,
+                        value=detected.value,
+                    ))
+                    self._restore_state(snapshot, optimizer)
+                    if retries_left <= 0:
+                        raise TrainingDivergedError(
+                            f"non-finite numerics at epoch {epoch}, batch "
+                            f"{detected.batch} ({detected.kind}="
+                            f"{detected.value}); retry budget of "
+                            f"{self.config.max_divergence_retries} exhausted"
+                        ) from None
+                    retries_left -= 1
+                    health.append(HealthEvent(
+                        epoch=epoch, kind="rollback", batch=detected.batch,
+                        detail="restored start-of-epoch model/optimizer/RNG state",
+                    ))
+                    optimizer.lr = optimizer.lr * self.config.lr_backoff_factor
+                    health.append(HealthEvent(
+                        epoch=epoch, kind="lr_backoff", value=optimizer.lr,
+                        detail=f"learning rate scaled by {self.config.lr_backoff_factor}",
+                    ))
+                    fallback_next = (
+                        self.config.divergence_kernel_fallback
+                        and not self.config.legacy_path
+                    )
+                    continue  # retry the same epoch from the snapshot
                 want_valid = self.config.early_stopping or (
                     validate_every and epoch % validate_every == 0
                 )
@@ -324,21 +476,155 @@ class OmniMatchTrainer:
                     # mode for the next epoch regardless of early stopping.
                     self.model.train()
                 history.append(stats)
+                stopping = False
                 if self.config.early_stopping and stats.valid_rmse is not None:
                     if stats.valid_rmse < best_rmse - 1e-6:
                         best_rmse = stats.valid_rmse
                         best_state = self.model.state_dict()
                         stale = 0
+                        if checkpoint_every:
+                            ckpt_io.write_training_checkpoint(
+                                self._make_checkpoint(
+                                    optimizer, epoch, best_rmse, stale,
+                                    best_state, history, health,
+                                ),
+                                Path(checkpoint_dir) / "best",
+                            )
                     else:
                         stale += 1
-                        if stale >= self.config.patience:
-                            break
+                        stopping = stale >= self.config.patience
+                if checkpoint_every and (
+                    epoch % checkpoint_every == 0 or epoch == epochs or stopping
+                ):
+                    target = Path(checkpoint_dir) / ckpt_io.checkpoint_directory_name(epoch)
+                    ckpt_io.write_training_checkpoint(
+                        self._make_checkpoint(
+                            optimizer, epoch, best_rmse, stale, best_state,
+                            history, health,
+                        ),
+                        target,
+                    )
+                    ckpt_io.prune_checkpoints(checkpoint_dir, keep_last)
+                    health.append(HealthEvent(
+                        epoch=epoch, kind="checkpoint", detail=str(target),
+                    ))
+                if stopping:
+                    break
+                epoch += 1
         finally:
             nn.set_fast_math(previous_fast)
         if best_state is not None:
             self.model.load_state_dict(best_state)
         self.model.eval()
         return result
+
+    def _run_epoch(
+        self,
+        epoch: int,
+        interactions: Sequence[Review],
+        optimizer: nn.Optimizer,
+        injector: "FaultInjector | None",
+    ) -> EpochStats:
+        """One guarded training epoch; raises on non-finite loss/gradients."""
+        start = time.perf_counter()
+        sums = {"total": 0.0, "rating": 0.0, "scl": 0.0, "domain": 0.0}
+        batches = 0
+        for batch_index, arrays in enumerate(self._epoch_batches(interactions)):
+            if injector is not None:
+                injector.before_batch(epoch, batch_index)
+            with self.perf.section("forward"):
+                losses = self.model.compute_losses(*arrays)
+            if injector is not None:
+                injector.after_forward(epoch, batch_index, losses)
+            total = float(losses["total"].item())
+            if not np.isfinite(total):
+                raise _DivergenceDetected("nonfinite_loss", batch_index, total)
+            with self.perf.section("backward"):
+                optimizer.zero_grad()
+                losses["total"].backward()
+            if injector is not None:
+                injector.after_backward(epoch, batch_index, self.model.parameters())
+            with self.perf.section("optimizer"):
+                grad_norm = nn.clip_grad_norm(
+                    self.model.parameters(), self.config.grad_clip
+                )
+                if not np.isfinite(grad_norm):
+                    raise _DivergenceDetected(
+                        "nonfinite_grad", batch_index, grad_norm
+                    )
+                optimizer.step()
+            for key in sums:
+                sums[key] += losses[key].item()
+            batches += 1
+        seconds = time.perf_counter() - start
+        return EpochStats(
+            epoch=epoch,
+            total=sums["total"] / batches,
+            rating=sums["rating"] / batches,
+            scl=sums["scl"] / batches,
+            domain=sums["domain"] / batches,
+            seconds=seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Training-state capture (in-memory rollback + on-disk checkpoints)
+    # ------------------------------------------------------------------
+    def _capture_state(self, optimizer: nn.Optimizer) -> dict:
+        """Copy of everything a bit-identical restart of this epoch needs."""
+        return {
+            "model": self.model.state_dict(),
+            "optimizer": optimizer.state_dict(),
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def _restore_state(self, snapshot: dict, optimizer: nn.Optimizer) -> None:
+        self.model.load_state_dict(snapshot["model"])
+        optimizer.load_state_dict(snapshot["optimizer"])
+        self._rng.bit_generator.state = snapshot["rng"]
+
+    def _make_checkpoint(
+        self,
+        optimizer: nn.Optimizer,
+        epoch: int,
+        best_rmse: float,
+        stale: int,
+        best_state: dict | None,
+        history: list[EpochStats],
+        health: list[HealthEvent],
+    ):
+        from .checkpoint import TrainingCheckpoint  # local import: cycle guard
+
+        return TrainingCheckpoint(
+            config=self.config,
+            epoch=epoch,
+            model_state=self.model.state_dict(),
+            optimizer_state=optimizer.state_dict(),
+            rng_state=self._rng.bit_generator.state,
+            best_rmse=best_rmse,
+            stale=stale,
+            best_state=best_state,
+            history=list(history),
+            health=list(health),
+        )
+
+    def _load_resume_state(self, resume_from: str | os.PathLike):
+        from .checkpoint import (  # local import: cycle guard
+            CheckpointError,
+            find_latest_checkpoint,
+            read_training_checkpoint,
+        )
+
+        path = Path(resume_from)
+        if (path / "MANIFEST.json").exists() or not path.is_dir():
+            return read_training_checkpoint(path), path
+        latest = find_latest_checkpoint(path)
+        if latest is None:
+            raise CheckpointError(
+                f"{path}: no valid training checkpoint found (neither a "
+                "checkpoint directory nor a run directory with complete "
+                "epoch-* checkpoints)"
+            )
+        return read_training_checkpoint(latest), latest
 
     def _validation_rmse(self, result: TrainResult) -> float:
         from .predictor import ColdStartPredictor  # local import: cycle guard

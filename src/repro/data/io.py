@@ -12,8 +12,10 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from typing import Iterable
 
+from ..atomicio import atomic_write_bytes
 from .records import CrossDomainDataset, DomainData, Review
 
 __all__ = ["load_domain_jsonl", "save_domain_jsonl", "load_cross_domain_jsonl"]
@@ -33,6 +35,7 @@ def load_domain_jsonl(
     name: str,
     fields: dict[str, str] | None = None,
     drop_empty_reviews: bool = True,
+    max_bad_records: int = 0,
 ) -> DomainData:
     """Load one domain from a JSON-lines file.
 
@@ -50,11 +53,30 @@ def load_domain_jsonl(
         Skip records without a summary and without a review body — the
         paper's preprocessing ("we removed the records that do not include
         reviews", §5.2).
+    max_bad_records:
+        Error budget for malformed input. Lines that are invalid JSON, not
+        a JSON object, missing the user/item/rating fields, or carrying a
+        non-numeric rating are *skipped* — each reported with ``path:line``
+        context — as long as at most this many occur; one more aborts the
+        load with :class:`ValueError`. The default ``0`` keeps the strict
+        behaviour (the first bad line aborts) but with a diagnostic that
+        names the line and the problem instead of a bare ``KeyError``.
     """
     mapping = dict(AMAZON_FIELDS)
     if fields:
         mapping.update(fields)
     reviews: list[Review] = []
+    bad: list[str] = []
+
+    def record_bad(line_number: int, reason: str) -> None:
+        message = f"{path}:{line_number}: {reason}"
+        bad.append(message)
+        if len(bad) > max_bad_records:
+            raise ValueError(
+                f"{message} (bad record {len(bad)} exceeds "
+                f"max_bad_records={max_bad_records})"
+            )
+
     with open(path) as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -62,13 +84,35 @@ def load_domain_jsonl(
                 continue
             try:
                 record = json.loads(line)
-            except json.JSONDecodeError as error:
-                raise ValueError(f"{path}:{line_number}: invalid JSON") from error
+            except json.JSONDecodeError:
+                record_bad(line_number, "invalid JSON")
+                continue
+            if not isinstance(record, dict):
+                record_bad(line_number, "not a JSON object")
+                continue
             summary = str(record.get(mapping["summary"], "") or "")
             text = str(record.get(mapping["text"], "") or "")
             if drop_empty_reviews and not summary and not text:
                 continue
-            rating = float(record[mapping["rating"]])
+            missing = [
+                mapping[key]
+                for key in ("user_id", "item_id", "rating")
+                if mapping[key] not in record
+            ]
+            if missing:
+                record_bad(
+                    line_number,
+                    f"missing required field(s): {', '.join(missing)}",
+                )
+                continue
+            try:
+                rating = float(record[mapping["rating"]])
+            except (TypeError, ValueError):
+                record_bad(
+                    line_number,
+                    f"non-numeric rating {record[mapping['rating']]!r}",
+                )
+                continue
             reviews.append(
                 Review(
                     user_id=str(record[mapping["user_id"]]),
@@ -78,6 +122,13 @@ def load_domain_jsonl(
                     text=text,
                 )
             )
+    if bad:
+        shown = "; ".join(bad[:5]) + (" …" if len(bad) > 5 else "")
+        warnings.warn(
+            f"{path}: skipped {len(bad)} bad record(s): {shown}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return DomainData(name, reviews)
 
 
@@ -86,20 +137,25 @@ def save_domain_jsonl(
     path: str | os.PathLike,
     fields: dict[str, str] | None = None,
 ) -> None:
-    """Write a domain back out in the (Amazon-compatible) JSON-lines format."""
+    """Write a domain in the (Amazon-compatible) JSON-lines format.
+
+    The file is written atomically (temp file + fsync + rename): a process
+    killed mid-export never leaves a truncated dataset at ``path``.
+    """
     mapping = dict(AMAZON_FIELDS)
     if fields:
         mapping.update(fields)
-    with open(path, "w") as handle:
-        for review in domain.reviews:
-            record = {
-                mapping["user_id"]: review.user_id,
-                mapping["item_id"]: review.item_id,
-                mapping["rating"]: review.rating,
-                mapping["summary"]: review.summary,
-                mapping["text"]: review.text,
-            }
-            handle.write(json.dumps(record) + "\n")
+    lines: list[str] = []
+    for review in domain.reviews:
+        record = {
+            mapping["user_id"]: review.user_id,
+            mapping["item_id"]: review.item_id,
+            mapping["rating"]: review.rating,
+            mapping["summary"]: review.summary,
+            mapping["text"]: review.text,
+        }
+        lines.append(json.dumps(record) + "\n")
+    atomic_write_bytes(path, "".join(lines).encode("utf-8"))
 
 
 def load_cross_domain_jsonl(

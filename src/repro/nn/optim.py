@@ -17,12 +17,18 @@ __all__ = ["Optimizer", "SGD", "Adam", "Adadelta", "clip_grad_norm"]
 def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is at most ``max_norm``.
 
-    Returns the pre-clipping norm (useful for divergence diagnostics).
+    Returns the pre-clipping norm (useful for divergence diagnostics). A
+    non-finite norm (any NaN/Inf gradient) is returned unchanged and the
+    gradients are left unscaled: dividing by NaN would poison every
+    parameter, and dividing by Inf would silently zero the whole update —
+    callers must treat a non-finite return as a divergence signal instead.
     """
     grads = [p.grad for p in parameters if p.grad is not None]
     if not grads:
         return 0.0
     total = float(np.sqrt(sum(float((g**2).sum()) for g in grads)))
+    if not np.isfinite(total):
+        return total
     if total > max_norm and total > 0:
         scale = max_norm / total
         for grad in grads:
@@ -47,6 +53,71 @@ class Optimizer:
         """Apply one update using the current gradients."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Serialization (crash-safe training checkpoints)
+    # ------------------------------------------------------------------
+    def _buffers(self) -> dict[str, list[np.ndarray]]:
+        """Named per-parameter state buffers (the *live* lists, not copies)."""
+        return {}
+
+    def _hyper(self) -> dict[str, float | int]:
+        """Scalar hyperparameters / counters worth persisting."""
+        return {}
+
+    def _set_hyper(self, hyper: dict[str, float | int]) -> None:
+        """Restore the scalars captured by :meth:`_hyper`."""
+
+    def state_dict(self) -> dict:
+        """Snapshot of optimizer kind, hyperparameters, and state buffers.
+
+        Buffer arrays are copied, so the snapshot is immune to later
+        :meth:`step` calls — a resumed run continues bit-identically.
+        """
+        return {
+            "kind": type(self).__name__.lower(),
+            "hyper": dict(self._hyper()),
+            "buffers": {
+                name: [array.copy() for array in arrays]
+                for name, arrays in self._buffers().items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        The optimizer kind, buffer names, per-buffer counts, and array
+        shapes must all match the receiving optimizer; mismatches raise
+        ``ValueError`` naming the offending entry.
+        """
+        kind = type(self).__name__.lower()
+        if state.get("kind") != kind:
+            raise ValueError(
+                f"optimizer state is for {state.get('kind')!r}, not {kind!r}"
+            )
+        buffers = self._buffers()
+        loaded = state.get("buffers", {})
+        if set(loaded) != set(buffers):
+            raise ValueError(
+                f"optimizer buffer mismatch: state has {sorted(loaded)}, "
+                f"expected {sorted(buffers)}"
+            )
+        for name, arrays in buffers.items():
+            values = loaded[name]
+            if len(values) != len(arrays):
+                raise ValueError(
+                    f"buffer {name!r} holds {len(values)} arrays for "
+                    f"{len(arrays)} parameters"
+                )
+            for index, (current, value) in enumerate(zip(arrays, values)):
+                value = np.asarray(value)
+                if value.shape != current.shape:
+                    raise ValueError(
+                        f"buffer {name}[{index}]: shape {value.shape} != "
+                        f"{current.shape}"
+                    )
+                arrays[index] = value.astype(current.dtype, copy=True)
+        self._set_hyper(dict(state.get("hyper", {})))
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -65,6 +136,18 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _buffers(self) -> dict[str, list[np.ndarray]]:
+        return {"velocity": self._velocity}
+
+    def _hyper(self) -> dict[str, float | int]:
+        return {"lr": self.lr, "momentum": self.momentum,
+                "weight_decay": self.weight_decay}
+
+    def _set_hyper(self, hyper: dict[str, float | int]) -> None:
+        self.lr = float(hyper.get("lr", self.lr))
+        self.momentum = float(hyper.get("momentum", self.momentum))
+        self.weight_decay = float(hyper.get("weight_decay", self.weight_decay))
 
     def step(self) -> None:
         for param, velocity in zip(self.parameters, self._velocity):
@@ -103,6 +186,22 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _buffers(self) -> dict[str, list[np.ndarray]]:
+        return {"m": self._m, "v": self._v}
+
+    def _hyper(self) -> dict[str, float | int]:
+        return {"lr": self.lr, "beta1": self.beta1, "beta2": self.beta2,
+                "eps": self.eps, "weight_decay": self.weight_decay,
+                "step_count": self._step_count}
+
+    def _set_hyper(self, hyper: dict[str, float | int]) -> None:
+        self.lr = float(hyper.get("lr", self.lr))
+        self.beta1 = float(hyper.get("beta1", self.beta1))
+        self.beta2 = float(hyper.get("beta2", self.beta2))
+        self.eps = float(hyper.get("eps", self.eps))
+        self.weight_decay = float(hyper.get("weight_decay", self.weight_decay))
+        self._step_count = int(hyper.get("step_count", self._step_count))
 
     def step(self) -> None:
         self._step_count += 1
@@ -150,6 +249,22 @@ class Adadelta(Optimizer):
         # then delta / delta**2).
         self._scratch_a = [np.empty_like(p.data) for p in self.parameters]
         self._scratch_b = [np.empty_like(p.data) for p in self.parameters]
+
+    def _buffers(self) -> dict[str, list[np.ndarray]]:
+        # Scratch buffers are overwritten on every step — only the running
+        # averages carry state across steps.
+        return {"avg_sq_grad": self._avg_sq_grad,
+                "avg_sq_delta": self._avg_sq_delta}
+
+    def _hyper(self) -> dict[str, float | int]:
+        return {"lr": self.lr, "rho": self.rho, "eps": self.eps,
+                "weight_decay": self.weight_decay}
+
+    def _set_hyper(self, hyper: dict[str, float | int]) -> None:
+        self.lr = float(hyper.get("lr", self.lr))
+        self.rho = float(hyper.get("rho", self.rho))
+        self.eps = float(hyper.get("eps", self.eps))
+        self.weight_decay = float(hyper.get("weight_decay", self.weight_decay))
 
     def step(self) -> None:
         rho, eps = self.rho, self.eps

@@ -6,25 +6,50 @@ each stored array to the receiving parameter's dtype, so checkpoints move
 freely between float32 and float64 models; pass ``dtype`` to
 :func:`load_module` to switch the module itself to a new dtype while
 loading.
+
+All writes are crash-safe: the archive is serialized in memory and lands on
+disk through :func:`repro.atomicio.atomic_write_bytes` (temp file + fsync +
+rename), so a process killed mid-save never leaves a truncated archive at
+the destination path.
 """
 
 from __future__ import annotations
 
+import io
 import os
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..atomicio import atomic_write_bytes
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .module import Module
 
-__all__ = ["save_module", "load_module"]
+__all__ = ["save_module", "load_module", "npz_bytes", "save_arrays", "load_arrays"]
+
+
+def npz_bytes(arrays: dict[str, np.ndarray]) -> bytes:
+    """Serialize named arrays to the bytes of an uncompressed ``.npz``."""
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def save_arrays(path: str | os.PathLike, arrays: dict[str, np.ndarray]) -> None:
+    """Atomically write named arrays as an ``.npz`` archive at ``path``."""
+    atomic_write_bytes(path, npz_bytes(arrays))
+
+
+def load_arrays(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Read every array from an ``.npz`` archive written by :func:`save_arrays`."""
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
 
 
 def save_module(module: "Module", path: str | os.PathLike) -> None:
     """Write every named parameter of ``module`` to an ``.npz`` file."""
-    state = module.state_dict()
-    np.savez(path, **state)
+    save_arrays(path, module.state_dict())
 
 
 def load_module(
@@ -37,8 +62,7 @@ def load_module(
     ``dtype`` (optional) recasts every parameter while loading — e.g. load a
     float64 checkpoint into a float32 inference model.
     """
-    with np.load(path) as archive:
-        state = {name: archive[name] for name in archive.files}
+    state = load_arrays(path)
     if dtype is not None:
         resolved = np.dtype(dtype)
         for _, param in module.named_parameters():

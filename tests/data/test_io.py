@@ -76,6 +76,21 @@ class TestLoadDomain:
         with pytest.raises(ValueError, match=":2"):
             load_domain_jsonl(path, "d")
 
+    def test_missing_fields_reported_by_name(self, tmp_path):
+        path = tmp_path / "d.jsonl"
+        write_jsonl(path, [{"reviewerID": "u", "summary": "s",
+                            "reviewText": "t"}])
+        with pytest.raises(ValueError, match="asin, overall"):
+            load_domain_jsonl(path, "d")
+
+    def test_non_numeric_rating_reported(self, tmp_path):
+        path = tmp_path / "d.jsonl"
+        write_jsonl(path, [{"reviewerID": "u", "asin": "i",
+                            "overall": "five stars", "summary": "s",
+                            "reviewText": "t"}])
+        with pytest.raises(ValueError, match="non-numeric rating"):
+            load_domain_jsonl(path, "d")
+
     def test_summary_falls_back_to_text(self, tmp_path):
         path = tmp_path / "d.jsonl"
         write_jsonl(path, [
@@ -84,6 +99,47 @@ class TestLoadDomain:
         ])
         domain = load_domain_jsonl(path, "d")
         assert domain.reviews[0].summary == "only a body"
+
+
+class TestErrorBudget:
+    """``max_bad_records``: tolerate up to N malformed lines, then abort."""
+
+    MIXED = [
+        {"reviewerID": "u1", "asin": "b1", "overall": 5.0, "summary": "ok",
+         "reviewText": "fine"},
+        "not json",
+        {"reviewerID": "u2", "asin": "b2", "overall": "bad", "summary": "s",
+         "reviewText": "t"},
+        {"reviewerID": "u3", "asin": "b3", "overall": 4.0, "summary": "ok",
+         "reviewText": "good"},
+    ]
+
+    def write_mixed(self, path):
+        with open(path, "w") as handle:
+            for record in self.MIXED:
+                if isinstance(record, str):
+                    handle.write(record + "\n")
+                else:
+                    handle.write(json.dumps(record) + "\n")
+
+    def test_budget_skips_and_warns_with_context(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        self.write_mixed(path)
+        with pytest.warns(RuntimeWarning, match="skipped 2 bad record"):
+            domain = load_domain_jsonl(path, "d", max_bad_records=2)
+        assert len(domain) == 2  # both good records survive
+
+    def test_budget_exceeded_aborts_with_line(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        self.write_mixed(path)
+        with pytest.raises(ValueError, match=r"mixed\.jsonl:3.*max_bad_records=1"):
+            load_domain_jsonl(path, "d", max_bad_records=1)
+
+    def test_default_budget_is_strict(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        self.write_mixed(path)
+        with pytest.raises(ValueError, match=r":2.*invalid JSON"):
+            load_domain_jsonl(path, "d")
 
 
 class TestRoundTrip:

@@ -1,0 +1,150 @@
+"""Optimizer state_dict round-trips: a restored optimizer must continue
+*bit-identically*, and malformed state must be rejected by name."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+
+FACTORIES = {
+    "sgd_momentum": lambda params: nn.SGD(
+        params, lr=0.05, momentum=0.9, weight_decay=0.01
+    ),
+    "adam": lambda params: nn.Adam(params, lr=0.01),
+    "adadelta": lambda params: nn.Adadelta(params, lr=0.5, rho=0.9),
+}
+
+
+def make_params(seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        nn.Parameter(rng.normal(size=(3, 2))),
+        nn.Parameter(rng.normal(size=(4,))),
+    ]
+
+
+def grad_sequence(steps, params, seed):
+    rng = np.random.default_rng(seed)
+    return [
+        [rng.normal(size=p.data.shape) for p in params] for _ in range(steps)
+    ]
+
+
+def apply_steps(optimizer, params, grads_seq):
+    for grads in grads_seq:
+        for param, grad in zip(params, grads):
+            param.grad = grad.copy()
+        optimizer.step()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(FACTORIES), ids=sorted(FACTORIES))
+    def test_restored_optimizer_continues_bit_identically(self, name):
+        factory = FACTORIES[name]
+        params_a = make_params()
+        optimizer_a = factory(params_a)
+        warmup = grad_sequence(5, params_a, seed=1)
+        continuation = grad_sequence(5, params_a, seed=2)
+        apply_steps(optimizer_a, params_a, warmup)
+        state = optimizer_a.state_dict()
+        frozen = [p.data.copy() for p in params_a]
+        apply_steps(optimizer_a, params_a, continuation)
+
+        params_b = make_params()
+        for param, values in zip(params_b, frozen):
+            param.data = values.copy()
+        optimizer_b = factory(params_b)
+        optimizer_b.load_state_dict(state)
+        apply_steps(optimizer_b, params_b, continuation)
+
+        for index, (a, b) in enumerate(zip(params_a, params_b)):
+            assert np.array_equal(a.data, b.data), f"param {index} diverged"
+
+    def test_adam_step_count_survives(self):
+        params = make_params()
+        optimizer = nn.Adam(params, lr=0.01)
+        apply_steps(optimizer, params, grad_sequence(7, params, seed=3))
+        state = optimizer.state_dict()
+        assert state["hyper"]["step_count"] == 7
+        restored = nn.Adam(make_params(), lr=0.01)
+        restored.load_state_dict(state)
+        assert restored._step_count == 7
+
+    def test_snapshot_is_immune_to_later_steps(self):
+        params = make_params()
+        optimizer = nn.SGD(params, lr=0.1, momentum=0.9)
+        apply_steps(optimizer, params, grad_sequence(2, params, seed=4))
+        state = optimizer.state_dict()
+        before = [array.copy() for array in state["buffers"]["velocity"]]
+        apply_steps(optimizer, params, grad_sequence(2, params, seed=5))
+        for frozen, held in zip(before, state["buffers"]["velocity"]):
+            assert np.array_equal(frozen, held)
+
+    def test_adadelta_persists_averages_not_scratch(self):
+        # The in-place (allocation-free) Adadelta step drives two scratch
+        # buffers that are overwritten every step — only the running
+        # averages are state, and only they may be persisted.
+        optimizer = nn.Adadelta(make_params(), lr=0.5)
+        state = optimizer.state_dict()
+        assert sorted(state["buffers"]) == ["avg_sq_delta", "avg_sq_grad"]
+
+    def test_restored_lr_override_sticks(self):
+        # The trainer backs lr off after divergence; a checkpointed backoff
+        # must win over the constructor default on restore.
+        optimizer = nn.Adadelta(make_params(), lr=0.5)
+        state = optimizer.state_dict()
+        state["hyper"]["lr"] = 0.125
+        restored = nn.Adadelta(make_params(), lr=0.5)
+        restored.load_state_dict(state)
+        assert restored.lr == 0.125
+
+
+class TestRejection:
+    def test_kind_mismatch(self):
+        state = nn.SGD(make_params(), lr=0.1).state_dict()
+        with pytest.raises(ValueError, match="sgd"):
+            nn.Adam(make_params(), lr=0.01).load_state_dict(state)
+
+    def test_buffer_name_mismatch(self):
+        state = nn.SGD(make_params(), lr=0.1).state_dict()
+        state["buffers"]["mystery"] = state["buffers"].pop("velocity")
+        with pytest.raises(ValueError, match="buffer mismatch"):
+            nn.SGD(make_params(), lr=0.1).load_state_dict(state)
+
+    def test_buffer_count_mismatch(self):
+        state = nn.SGD(make_params(), lr=0.1).state_dict()
+        state["buffers"]["velocity"].pop()
+        with pytest.raises(ValueError, match="velocity"):
+            nn.SGD(make_params(), lr=0.1).load_state_dict(state)
+
+    def test_buffer_shape_mismatch(self):
+        state = nn.Adam(make_params(), lr=0.01).state_dict()
+        state["buffers"]["m"][0] = np.zeros((9, 9))
+        with pytest.raises(ValueError, match="shape"):
+            nn.Adam(make_params(), lr=0.01).load_state_dict(state)
+
+
+class TestClipGradNormNonFinite:
+    def test_nan_norm_returned_without_scaling(self):
+        param = nn.Parameter(np.zeros(3))
+        param.grad = np.array([1.0, float("nan"), 1.0])
+        norm = nn.clip_grad_norm([param], max_norm=1.0)
+        assert np.isnan(norm)
+        # the NaN must stay visible for the caller's divergence guard
+        assert np.isnan(param.grad[1]) and param.grad[0] == 1.0
+
+    def test_inf_norm_does_not_zero_gradients(self):
+        # Historically scale = max_norm / inf == 0 silently wiped every
+        # gradient, masking divergence as a frozen model.
+        param = nn.Parameter(np.zeros(2))
+        param.grad = np.array([float("inf"), 2.0])
+        norm = nn.clip_grad_norm([param], max_norm=1.0)
+        assert np.isinf(norm)
+        assert param.grad[1] == 2.0
+
+    def test_finite_path_unaffected(self):
+        param = nn.Parameter(np.zeros(2))
+        param.grad = np.array([3.0, 4.0])
+        norm = nn.clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)

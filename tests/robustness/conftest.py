@@ -1,0 +1,14 @@
+import pytest
+
+from repro.data import GeneratorConfig, cold_start_split, generate_domain_pair
+
+from .helpers import WORLD_PARAMS
+
+
+@pytest.fixture(scope="package")
+def world():
+    dataset = generate_domain_pair(
+        "books", "movies", GeneratorConfig(**WORLD_PARAMS)
+    )
+    split = cold_start_split(dataset, seed=1)
+    return dataset, split

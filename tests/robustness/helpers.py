@@ -1,0 +1,66 @@
+"""Shared fixtures/utilities for the robustness (chaos) suite.
+
+Everything runs at toy scale; ``REPRO_CHAOS_FAST=1`` (the CI setting)
+shrinks the randomized-seed sweeps further without changing coverage of
+the deterministic tests.
+"""
+
+import math
+import os
+
+import numpy as np
+
+from repro.core import OmniMatchConfig, OmniMatchTrainer
+
+CHAOS_FAST = bool(os.environ.get("REPRO_CHAOS_FAST"))
+
+#: Seeds for the randomized chaos sweeps (reduced scale under CI).
+CHAOS_SEEDS = range(2) if CHAOS_FAST else range(4)
+
+WORLD_PARAMS = dict(
+    num_users=60, num_items_per_domain=30, reviews_per_user_mean=4.0, seed=11
+)
+
+
+def tiny_config(**overrides) -> OmniMatchConfig:
+    """Toy-scale config with dropout > 0 so the RNG stream is exercised."""
+    base = dict(
+        embed_dim=12, num_filters=3, kernel_sizes=(2, 3), invariant_dim=8,
+        specific_dim=8, projection_dim=6, doc_len=16, dropout=0.2,
+        vocab_size=200, epochs=4, batch_size=32, early_stopping=False, seed=7,
+    )
+    base.update(overrides)
+    return OmniMatchConfig(**base)
+
+
+def train_uninterrupted(world, config, epochs, **fit_kwargs):
+    """Fresh trainer, one uninterrupted fit — the equivalence baseline."""
+    dataset, split = world
+    trainer = OmniMatchTrainer(dataset, split, config)
+    return trainer.fit(epochs, **fit_kwargs)
+
+
+def batches_per_epoch(world, config) -> int:
+    dataset, split = world
+    return math.ceil(len(split.train_interactions(dataset)) / config.batch_size)
+
+
+def assert_states_identical(state_a, state_b):
+    """Bit-identical parameter dictionaries (exact array equality)."""
+    assert state_a.keys() == state_b.keys()
+    for name in state_a:
+        assert np.array_equal(state_a[name], state_b[name]), (
+            f"parameter {name} differs"
+        )
+
+
+def assert_histories_identical(history_a, history_b):
+    """Exact float equality on every recorded loss; wall-clock is exempt."""
+    assert len(history_a) == len(history_b)
+    for stat_a, stat_b in zip(history_a, history_b):
+        assert stat_a.epoch == stat_b.epoch
+        assert stat_a.total == stat_b.total
+        assert stat_a.rating == stat_b.rating
+        assert stat_a.scl == stat_b.scl
+        assert stat_a.domain == stat_b.domain
+        assert stat_a.valid_rmse == stat_b.valid_rmse

@@ -1,0 +1,134 @@
+"""Seed-driven chaos sweeps: kill the trainer at a random (epoch, batch),
+resume, and demand bit-identical equivalence with the uninterrupted run;
+corrupt a random checkpoint artifact and demand detection. Every seed is
+explicit, so a failing sweep reproduces exactly.
+
+``REPRO_CHAOS_FAST=1`` (set by CI) shrinks the seed sweep.
+"""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CheckpointError,
+    OmniMatchTrainer,
+    find_latest_checkpoint,
+    read_training_checkpoint,
+)
+from repro.faults import (
+    CompositeInjector,
+    CrashInjector,
+    NonFiniteGradientInjector,
+    SimulatedCrash,
+    flip_random_bit,
+    random_crash_point,
+)
+
+from .helpers import (
+    CHAOS_SEEDS,
+    assert_histories_identical,
+    assert_states_identical,
+    batches_per_epoch,
+    tiny_config,
+    train_uninterrupted,
+)
+
+EPOCHS = 4
+PAYLOADS = ["config.json", "weights.npz", "optimizer.npz", "trainer_state.json"]
+
+
+@pytest.fixture(scope="module")
+def baseline(world):
+    return train_uninterrupted(world, tiny_config(), EPOCHS)
+
+
+@pytest.fixture(scope="module")
+def chaos_run(world, tmp_path_factory):
+    """One pristine checkpointed run shared by the corruption sweeps."""
+    run_dir = tmp_path_factory.mktemp("chaos-pristine")
+    dataset, split = world
+    trainer = OmniMatchTrainer(dataset, split, tiny_config())
+    trainer.fit(2, checkpoint_every=1, checkpoint_dir=run_dir, keep_last=1)
+    return run_dir
+
+
+class TestKillResumeSweep:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_random_kill_point_resumes_bit_identical(
+        self, world, tmp_path, baseline, seed
+    ):
+        config = tiny_config()
+        epoch, batch = random_crash_point(
+            seed, EPOCHS, batches_per_epoch(world, config)
+        )
+        dataset, split = world
+        doomed = OmniMatchTrainer(dataset, split, config)
+        with pytest.raises(SimulatedCrash):
+            doomed.fit(
+                EPOCHS,
+                checkpoint_every=1,
+                checkpoint_dir=tmp_path,
+                fault_injector=CrashInjector(epoch=epoch, batch=batch),
+            )
+        fresh = OmniMatchTrainer(dataset, split, config)
+        if find_latest_checkpoint(tmp_path) is None:
+            # Killed before the first checkpoint landed: resume must refuse
+            # with a diagnostic, and a from-scratch run is the recovery.
+            assert epoch == 1
+            with pytest.raises(CheckpointError, match="no valid"):
+                fresh.fit(EPOCHS, resume_from=tmp_path)
+            resumed = OmniMatchTrainer(dataset, split, config).fit(EPOCHS)
+        else:
+            resumed = fresh.fit(EPOCHS, resume_from=tmp_path)
+        assert_states_identical(
+            baseline.model.state_dict(), resumed.model.state_dict()
+        )
+        assert_histories_identical(baseline.history, resumed.history)
+
+    def test_kill_after_divergence_recovery_still_resumes(self, world, tmp_path):
+        """Recovery state (backed-off lr, health log) must survive the
+        checkpoint round-trip: a run that diverged at epoch 1, recovered,
+        and was killed at epoch 3 resumes bit-identically — the fault is
+        already baked into the checkpoint, so no replay is needed."""
+        config = tiny_config()
+        dataset, split = world
+        reference = OmniMatchTrainer(dataset, split, config)
+        gold = reference.fit(
+            EPOCHS,
+            fault_injector=NonFiniteGradientInjector(epoch=1, batch=0),
+        )
+        doomed = OmniMatchTrainer(dataset, split, config)
+        with pytest.raises(SimulatedCrash):
+            doomed.fit(
+                EPOCHS,
+                checkpoint_every=1,
+                checkpoint_dir=tmp_path,
+                fault_injector=CompositeInjector([
+                    NonFiniteGradientInjector(epoch=1, batch=0),
+                    CrashInjector(epoch=3, batch=0),
+                ]),
+            )
+        fresh = OmniMatchTrainer(dataset, split, config)
+        resumed = fresh.fit(EPOCHS, resume_from=tmp_path)
+        assert_states_identical(
+            gold.model.state_dict(), resumed.model.state_dict()
+        )
+        assert_histories_identical(gold.history, resumed.history)
+        assert "lr_backoff" in [e.kind for e in resumed.health]
+
+
+class TestRandomCorruptionSweep:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_random_bit_flip_always_detected(self, chaos_run, tmp_path, seed):
+        run_dir = tmp_path / "run"
+        shutil.copytree(chaos_run, run_dir)
+        checkpoint = find_latest_checkpoint(run_dir)
+        assert checkpoint is not None
+        rng = np.random.default_rng(seed)
+        target = PAYLOADS[int(rng.integers(len(PAYLOADS)))]
+        offset = flip_random_bit(checkpoint / target, seed=seed)
+        with pytest.raises(CheckpointError):
+            read_training_checkpoint(checkpoint)
+        assert offset >= 0  # fault coordinates are reportable on failure

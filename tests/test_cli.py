@@ -29,6 +29,28 @@ class TestParser:
         args = build_parser().parse_args(["train", "--checkpoint", "/tmp/x"])
         assert args.checkpoint == "/tmp/x"
 
+    def test_train_fault_tolerance_flags(self):
+        args = build_parser().parse_args([
+            "train", "--checkpoint", "/tmp/x", "--checkpoint-every", "2",
+            "--keep-last", "5", "--resume", "/tmp/x/epoch-0004",
+        ])
+        assert args.checkpoint_every == 2
+        assert args.keep_last == 5
+        assert args.resume == "/tmp/x/epoch-0004"
+
+    def test_train_fault_tolerance_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.checkpoint_every == 0
+        assert args.keep_last == 3
+        assert args.resume is None
+
+    def test_checkpoint_every_requires_checkpoint_dir(self):
+        from repro.cli import _cmd_train
+
+        args = build_parser().parse_args(["train", "--checkpoint-every", "2"])
+        with pytest.raises(SystemExit, match="requires --checkpoint"):
+            _cmd_train(args)
+
 
 class TestCommands:
     def test_info_runs(self, capsys):
