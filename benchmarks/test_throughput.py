@@ -10,18 +10,23 @@ exists to measure:
   softmax-cross-entropy / linear+relu, im2col conv with cached workspaces.
 
 Results (overall samples/sec, per-phase breakdown from ``trainer.perf``,
-and the speedup ratio) are printed and written to ``BENCH_throughput.json``
-in the working directory. At full scale the fast path must deliver >= 3x
-the legacy samples/sec; at ``REPRO_BENCH_FAST=1`` scale the run is a smoke
-test and only the report plumbing is asserted.
+a hierarchical span trace from the telemetry layer, and the speedup ratio)
+are printed and written to ``BENCH_throughput.json`` in the working
+directory. Both variants train with telemetry enabled (a sink streaming to
+a temp directory), so the speedup ratio prices in the observability
+overhead it would pay in a real instrumented run. At full scale the fast
+path must deliver >= 3x the legacy samples/sec; at ``REPRO_BENCH_FAST=1``
+scale the run is a smoke test and only the report plumbing is asserted.
 """
 
 from __future__ import annotations
 
+import tempfile
 import time
 
 from repro.core import OmniMatchTrainer
 from repro.data import cold_start_split, generate_scenario
+from repro.obs import TelemetrySink
 from repro.perf import throughput, write_report
 
 from conftest import FAST, SHAPE_ASSERTS, WORLDS, bench_config, run_once
@@ -40,13 +45,16 @@ VARIANTS = {
 
 def _train_variant(dataset, split, flags) -> dict:
     best = None
-    for _ in range(RUNS):
+    for run_index in range(RUNS):
         config = bench_config(epochs=EPOCHS, early_stopping=False, **flags)
-        trainer = OmniMatchTrainer(dataset, split, config)
-        samples = len(split.train_interactions(dataset)) * EPOCHS
-        start = time.perf_counter()
-        result = trainer.fit()
-        seconds = time.perf_counter() - start
+        with tempfile.TemporaryDirectory() as sink_dir:
+            sink = TelemetrySink(sink_dir, run_id=f"bench-{run_index}")
+            trainer = OmniMatchTrainer(dataset, split, config, telemetry=sink)
+            samples = len(split.train_interactions(dataset)) * EPOCHS
+            start = time.perf_counter()
+            result = trainer.fit()
+            seconds = time.perf_counter() - start
+            sink.close()
         if best is not None and seconds >= best["seconds"]:
             continue
         phase_summary = trainer.perf.summary()
@@ -60,6 +68,7 @@ def _train_variant(dataset, split, flags) -> dict:
                 for name in PHASES
                 if name in phase_summary
             },
+            "trace": trainer.tracer.summary(),
         }
     return best
 
@@ -101,6 +110,16 @@ def test_throughput(benchmark):
     for stats in report["variants"].values():
         assert stats["samples_per_sec"] > 0
         assert set(stats["phases"]) == set(PHASES)
+        # Span trace and flat registry are fed from one measurement, so the
+        # per-phase totals must agree (the trace nests them under epoch/).
+        trace_totals = {
+            path.rsplit("/", 1)[-1]: entry["inclusive_seconds"]
+            for path, entry in stats["trace"].items()
+        }
+        for phase in PHASES:
+            assert abs(trace_totals[phase] - stats["phases"][phase]) <= (
+                0.01 * max(trace_totals[phase], stats["phases"][phase])
+            )
     if SHAPE_ASSERTS:
         assert report["speedup"] >= 3.0, (
             f"fast path is only {report['speedup']:.2f}x the legacy path"

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Run telemetry end to end: train with a sink, then inspect ``run.jsonl``.
+
+A tiny seeded training run streams structured events — per-batch loss and
+gradient norm, per-epoch throughput, checkpoint writes, health events, and
+the closing span/metric summaries — to an append-only ``run.jsonl``. The
+script then reads the file back, schema-validates every event, prints the
+rendered report (the same output as ``python -m repro report``), and shows
+how to slice the raw event stream for custom analysis.
+
+Pass ``--out DIR`` to keep the telemetry directory around (the CI
+observability job uses this to archive a trace as a build artifact);
+otherwise a temp directory is used and cleaned up.
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro.core import OmniMatchConfig, OmniMatchTrainer
+from repro.data import cold_start_split, generate_scenario
+from repro.obs import (
+    TelemetrySink,
+    read_events,
+    render_report,
+    validate_run_file,
+)
+
+EPOCHS = 3
+
+
+def run_traced_training(out_dir: Path) -> Path:
+    """Train a toy model with telemetry streaming to ``out_dir``."""
+    dataset = generate_scenario(
+        "amazon", "books", "movies",
+        num_users=60, num_items_per_domain=30, reviews_per_user_mean=4.0,
+    )
+    split = cold_start_split(dataset, seed=1)
+    config = OmniMatchConfig(
+        embed_dim=12, num_filters=3, kernel_sizes=(2, 3), invariant_dim=8,
+        specific_dim=8, projection_dim=6, doc_len=16, vocab_size=200,
+        epochs=EPOCHS, early_stopping=False, seed=7,
+    )
+    with TelemetrySink(out_dir, run_id="inspect-run-demo") as sink:
+        trainer = OmniMatchTrainer(dataset, split, config, telemetry=sink)
+        trainer.fit(EPOCHS, validate_every=1,
+                    checkpoint_every=1, checkpoint_dir=out_dir / "ckpt")
+        return sink.path
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="keep the telemetry directory here")
+    args = parser.parse_args()
+
+    scratch = None
+    if args.out is None:
+        scratch = tempfile.TemporaryDirectory()
+        out_dir = Path(scratch.name)
+    else:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    try:
+        path = run_traced_training(out_dir)
+
+        print("== schema validation ==")
+        stats = validate_run_file(path)
+        kinds = ", ".join(f"{k}={v}" for k, v in sorted(stats["kinds"].items()))
+        print(f"  {stats['events']} events, {stats['runs']} run(s): {kinds}")
+
+        print("\n== rendered report (same as `python -m repro report`) ==")
+        events = read_events(path)
+        print(render_report(events))
+
+        print("== custom slicing: loss trajectory from raw batch events ==")
+        losses = [e["loss"] for e in events if e["kind"] == "batch"]
+        print(f"  first batch loss {losses[0]:.4f} -> last {losses[-1]:.4f} "
+              f"over {len(losses)} batches")
+        if args.out is not None:
+            print(f"\ntelemetry kept at {path}")
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+
+
+if __name__ == "__main__":
+    main()

@@ -5,7 +5,8 @@ in Cross-Domain Recommendations using Auxiliary Reviews* (EDBT 2025),
 including the numpy autograd substrate (``repro.nn``), text processing
 (``repro.text``), synthetic Amazon/Douban-style corpora (``repro.data``),
 the OmniMatch model (``repro.core``), all six paper baselines
-(``repro.baselines``), and the evaluation harness (``repro.eval``).
+(``repro.baselines``), the evaluation harness (``repro.eval``), and the
+run-telemetry layer (``repro.obs``).
 
 Quickstart::
 
@@ -20,6 +21,6 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import baselines, core, data, eval, nn, text
+from . import baselines, core, data, eval, nn, obs, text
 
-__all__ = ["nn", "text", "data", "core", "baselines", "eval", "__version__"]
+__all__ = ["nn", "text", "data", "core", "baselines", "eval", "obs", "__version__"]

@@ -1,11 +1,18 @@
-"""Crash-safe file writes and content digests.
+"""Crash-safe file writes, durable line appends, and content digests.
 
 Every durable artifact the training runtime produces (checkpoint payloads,
-manifests, exported datasets) goes through :func:`atomic_write_bytes`:
-the bytes land in a temporary file in the *same directory*, are flushed and
-``fsync``-ed, and only then renamed over the destination. A reader therefore
-observes either the old file or the complete new file — never a torn write —
-and a process killed mid-write leaves the destination untouched.
+manifests, exported datasets, benchmark reports) goes through
+:func:`atomic_write_bytes`: the bytes land in a temporary file in the *same
+directory*, are flushed and ``fsync``-ed, and only then renamed over the
+destination. A reader therefore observes either the old file or the complete
+new file — never a torn write — and a process killed mid-write leaves the
+destination untouched.
+
+Append-only streams (the telemetry ``run.jsonl`` of :mod:`repro.obs`) use
+:class:`LineAppender` instead: whole lines are appended and flushed one at a
+time, so a crash can tear at most the final line — which line-oriented
+readers skip — and size-based rotation renames the full segment with the
+same ``os.replace`` + directory-fsync discipline as the atomic writers.
 
 The SHA-256 helpers back the checkpoint manifest: digests are computed over
 the exact bytes written, so any later bit-flip or truncation is detectable.
@@ -21,6 +28,7 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_text",
     "fsync_directory",
+    "LineAppender",
     "sha256_bytes",
     "sha256_file",
 ]
@@ -66,6 +74,107 @@ def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
 def atomic_write_text(path: str | os.PathLike, text: str) -> None:
     """UTF-8 convenience wrapper over :func:`atomic_write_bytes`."""
     atomic_write_bytes(path, text.encode("utf-8"))
+
+
+class LineAppender:
+    """Durable append-only line stream with size-based rotation.
+
+    Each :meth:`append` writes one complete line and flushes it to the OS,
+    so a crash tears at most the line in flight. When the active file would
+    exceed ``max_bytes``, it is rotated: ``path`` -> ``path.1`` ->
+    ``path.2`` … up to ``max_files`` retained segments, each shift an
+    ``os.replace`` (atomic on POSIX) followed by a directory fsync. Readers
+    therefore always see whole rotated segments plus an active file whose
+    only possibly-incomplete content is its final line.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        max_bytes: int | None = None,
+        max_files: int = 3,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None to disable rotation)")
+        if max_files < 1:
+            raise ValueError("max_files must be at least 1")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.max_files = max_files
+        self._handle = None
+        self._size = self.path.stat().st_size if self.path.exists() else 0
+        self.rotations = 0
+
+    def _open(self):
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def rotated_paths(self) -> list[Path]:
+        """Existing rotated segments, oldest last (``path.1`` is newest)."""
+        found = []
+        for index in range(1, self.max_files + 1):
+            candidate = self.path.with_name(f"{self.path.name}.{index}")
+            if candidate.exists():
+                found.append(candidate)
+        return found
+
+    def _rotate(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+        # Shift path.N-1 -> path.N (dropping the oldest), then path -> path.1.
+        oldest = self.path.with_name(f"{self.path.name}.{self.max_files}")
+        if oldest.exists():
+            oldest.unlink()
+        for index in range(self.max_files - 1, 0, -1):
+            src = self.path.with_name(f"{self.path.name}.{index}")
+            if src.exists():
+                os.replace(src, self.path.with_name(f"{self.path.name}.{index + 1}"))
+        if self.path.exists():
+            os.replace(self.path, self.path.with_name(f"{self.path.name}.1"))
+        fsync_directory(self.path.parent)
+        self._size = 0
+        self.rotations += 1
+
+    def append(self, line: str) -> None:
+        """Append one line (a trailing newline is added when missing)."""
+        if not line.endswith("\n"):
+            line += "\n"
+        encoded_size = len(line.encode("utf-8"))
+        if (
+            self.max_bytes is not None
+            and self._size > 0
+            and self._size + encoded_size > self.max_bytes
+        ):
+            self._rotate()
+        handle = self._open()
+        handle.write(line)
+        handle.flush()
+        self._size += encoded_size
+
+    def flush(self, fsync: bool = False) -> None:
+        """Flush buffered lines; with ``fsync`` also force them to disk."""
+        if self._handle is not None:
+            self._handle.flush()
+            if fsync:
+                os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Flush, fsync, and close the active file (idempotent)."""
+        if self._handle is not None:
+            self.flush(fsync=True)
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "LineAppender":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 def sha256_bytes(data: bytes) -> str:

@@ -14,6 +14,9 @@ Commands
 ``case-study``
     Print the §5.10-style auxiliary-review generation trace for one
     cold-start user.
+``report``
+    Summarize a telemetry file (``run.jsonl``) written by a run with
+    ``--telemetry``: phase time breakdown, health events, final metrics.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ from .core import (
 )
 from .data import DATASET_PROFILES, DOMAINS, cold_start_split, generate_scenario
 from .eval import METHODS, PAPER_METHODS, format_comparison, mae, rmse, run_scenario_methods
+from .obs import TelemetrySink, load_run_events, render_report, validate_run_file
 
 __all__ = ["main", "build_parser"]
 
@@ -74,9 +78,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="resume training from a checkpoint directory (or "
                             "pick the newest valid checkpoint in a run "
                             "directory); requires identical scenario flags")
+    train.add_argument("--telemetry", default=None, metavar="DIR",
+                       help="stream structured run telemetry (per-epoch and "
+                            "per-batch metrics, span timings, health events) "
+                            "to DIR/run.jsonl; summarize with `repro report`")
 
     case = sub.add_parser("case-study", help="auxiliary-review trace for one cold user")
     add_scenario_args(case)
+
+    report = sub.add_parser(
+        "report", help="summarize a run.jsonl telemetry file"
+    )
+    report.add_argument("path", help="run.jsonl file, or a directory containing one")
+    report.add_argument("--validate", action="store_true",
+                        help="schema-check every event before summarizing")
     return parser
 
 
@@ -120,7 +135,15 @@ def _cmd_train(args: argparse.Namespace) -> int:
         )
     if args.resume:
         fit_kwargs["resume_from"] = args.resume
-    result = OmniMatchTrainer(dataset, split, config).fit(**fit_kwargs)
+    sink = TelemetrySink(args.telemetry) if args.telemetry else None
+    try:
+        result = OmniMatchTrainer(dataset, split, config, telemetry=sink).fit(
+            **fit_kwargs
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+            print(f"telemetry written to {sink.path}")
     predictor = ColdStartPredictor(result)
     test = split.eval_interactions(dataset, "test")
     predicted = predictor.predict_interactions(test)
@@ -159,6 +182,22 @@ def _cmd_case_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    if args.validate:
+        from pathlib import Path
+
+        target = Path(args.path)
+        if target.is_dir():
+            target = target / "run.jsonl"
+        stats = validate_run_file(target)
+        print(f"schema OK: {stats['events']} event(s), "
+              f"{stats['runs']} run(s), kinds: "
+              + ", ".join(f"{k}={v}" for k, v in sorted(stats["kinds"].items())))
+    events = load_run_events(args.path)
+    print(render_report(events))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "info":
@@ -171,4 +210,6 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_train(args)
     if args.command == "case-study":
         return _cmd_case_study(args)
+    if args.command == "report":
+        return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")

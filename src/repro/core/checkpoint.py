@@ -55,6 +55,7 @@ from ..data.records import CrossDomainDataset
 from ..data.split import ColdStartSplit
 from ..nn import load_module
 from ..nn.serialization import npz_bytes, save_arrays
+from ..obs import emit_event
 from .config import OmniMatchConfig
 from .trainer import EpochStats, HealthEvent, OmniMatchTrainer, TrainResult
 
@@ -329,6 +330,13 @@ def write_training_checkpoint(
         path / _MANIFEST_FILE,
         json.dumps(manifest, indent=2, sort_keys=True).encode(),
     )
+    emit_event(
+        "checkpoint_write",
+        path=str(path),
+        epoch=int(checkpoint.epoch),
+        files=sorted(files),
+        bytes=sum(meta["bytes"] for meta in files.values()),
+    )
     return path
 
 
@@ -437,6 +445,7 @@ def read_training_checkpoint(directory: str | os.PathLike) -> TrainingCheckpoint
                 )
             best_state = _load_npz(path / _BEST_FILE)
         best_rmse = state["best_rmse"]
+        emit_event("checkpoint_read", path=str(path), epoch=int(state["epoch"]))
         return TrainingCheckpoint(
             config=config,
             epoch=int(state["epoch"]),
@@ -506,4 +515,10 @@ def prune_checkpoints(
     for _, child in doomed:
         shutil.rmtree(child, ignore_errors=True)
         removed.append(child)
+    if removed:
+        emit_event(
+            "checkpoint_prune",
+            removed=[str(child) for child in removed],
+            keep_last=int(keep_last),
+        )
     return removed

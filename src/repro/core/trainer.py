@@ -26,12 +26,28 @@ kernels — the baseline side of ``benchmarks/test_throughput.py``.
 Per-module wall-clock timings are accumulated for the Table 6 reproduction;
 per-phase timings (batch assembly / forward / backward / optimizer) land in
 ``trainer.perf`` for the throughput benchmark.
+
+Observability
+-------------
+Each phase is timed once and the measured duration feeds both the legacy
+flat ``trainer.perf`` registry and the hierarchical ``trainer.tracer``
+(:class:`repro.obs.SpanTracer`), so their per-phase totals agree exactly.
+Batch loss / gradient norm / learning rate land in ``trainer.metrics``
+(:class:`repro.obs.MetricsRegistry`) every step. When a
+:class:`repro.obs.TelemetrySink` is attached (the ``telemetry`` constructor
+argument, or an ambient sink installed with :func:`repro.obs.use_sink`),
+``fit`` streams the whole run as structured events — ``run_start``,
+per-batch ``batch``, per-epoch ``epoch`` (with an RNG-stream checksum),
+every ``health`` entry, checkpoint lifecycle, and a final
+``span_summary`` / ``metrics_summary`` / ``run_end`` — to ``run.jsonl``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator, Sequence
@@ -42,11 +58,15 @@ from .. import nn
 from ..data.batching import DocumentMatrices, DocumentStore, iter_batches
 from ..data.records import CrossDomainDataset, Review
 from ..data.split import ColdStartSplit
-from ..perf import PerfRegistry
+from ..obs import MetricsRegistry, SpanTracer, get_active_sink, use_sink
+from ..perf import PerfRegistry, throughput
 from ..text import train_ppmi_svd_embeddings
 from .auxiliary import AuxiliaryReviewGenerator
 from .config import OmniMatchConfig
 from .model import OmniMatchModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import TelemetrySink
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard (faults imports nothing here)
     from ..faults import FaultInjector
@@ -129,12 +149,16 @@ class OmniMatchTrainer:
         dataset: CrossDomainDataset,
         split: ColdStartSplit,
         config: OmniMatchConfig | None = None,
+        telemetry: "TelemetrySink | None" = None,
     ) -> None:
         self.dataset = dataset
         self.split = split
         self.config = config if config is not None else OmniMatchConfig()
         self._rng = np.random.default_rng(self.config.seed)
         self.perf = PerfRegistry()
+        self.tracer = SpanTracer()
+        self.metrics = MetricsRegistry()
+        self.telemetry = telemetry
 
         self.store = DocumentStore(
             dataset,
@@ -160,6 +184,50 @@ class OmniMatchTrainer:
         self._aux_doc_cache: dict[str, np.ndarray] = {}
         self._aux_matrix: np.ndarray | None = None
         self._aux_filled: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Observability plumbing
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _phase(self, name: str) -> Iterator[None]:
+        """Time a phase once, feeding tracer and flat registry identically."""
+        token = self.tracer.enter(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.tracer.exit(token, elapsed)
+            self.perf.record(name, elapsed)
+
+    def _emit(self, kind: str, **fields) -> None:
+        """Send an event to the attached sink, or the ambient one, if any."""
+        sink = self.telemetry if self.telemetry is not None else get_active_sink()
+        if sink is not None:
+            sink.emit(kind, **fields)
+
+    def _note_health(self, health: list[HealthEvent], event: HealthEvent) -> None:
+        """Record a health event in the run log and the telemetry stream."""
+        health.append(event)
+        self.metrics.inc(f"health.{event.kind}")
+        self._emit(
+            "health",
+            epoch=event.epoch,
+            health_kind=event.kind,
+            batch=event.batch,
+            value=event.value,
+            detail=event.detail,
+        )
+
+    def _rng_checksum(self) -> str:
+        """Short digest of the RNG bit-generator state (stream identity).
+
+        Two runs that have drawn the same random stream — e.g. a resumed
+        run and its uninterrupted twin at the same epoch — have equal
+        checksums, so telemetry diffs expose RNG divergence directly.
+        """
+        state = repr(self._rng.bit_generator.state).encode()
+        return hashlib.sha256(state).hexdigest()[:16]
 
     # ------------------------------------------------------------------
     # Document assembly
@@ -263,11 +331,11 @@ class OmniMatchTrainer:
         batch_size = self.config.batch_size
         if self.config.legacy_path:
             for batch in iter_batches(interactions, batch_size, self._rng):
-                with self.perf.section("batch_assembly"):
+                with self._phase("batch_assembly"):
                     arrays = self._batch_arrays_legacy(batch)
                 yield arrays
             return
-        with self.perf.section("batch_assembly"):
+        with self._phase("batch_assembly"):
             matrices = self._document_matrices()
             count = len(interactions)
             user_rows = np.fromiter(
@@ -291,7 +359,7 @@ class OmniMatchTrainer:
             self._rng.shuffle(order)
         for start in range(0, count, batch_size):
             index = order[start : start + batch_size]
-            with self.perf.section("batch_assembly"):
+            with self._phase("batch_assembly"):
                 arrays = self._mix_and_gather(
                     matrices, user_rows[index], item_rows[index], labels[index]
                 )
@@ -341,7 +409,39 @@ class OmniMatchTrainer:
         recovery action lands in ``TrainResult.health``.
 
         ``fault_injector`` is a test-harness hook (see :mod:`repro.faults`).
+
+        Telemetry
+        ---------
+        With a :class:`repro.obs.TelemetrySink` attached (constructor
+        ``telemetry=`` argument or ambient :func:`repro.obs.use_sink`), the
+        run streams structured events to ``run.jsonl``; the attached sink
+        is also installed as the active sink for the duration, so
+        checkpoint I/O events emitted by :mod:`repro.core.checkpoint` land
+        in the same file. The stream ends with ``span_summary`` /
+        ``metrics_summary`` / ``run_end`` events even when training aborts.
         """
+        with use_sink(self.telemetry):
+            return self._fit(
+                epochs,
+                validate_every,
+                resume_from=resume_from,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir,
+                keep_last=keep_last,
+                fault_injector=fault_injector,
+            )
+
+    def _fit(
+        self,
+        epochs: int | None,
+        validate_every: int,
+        *,
+        resume_from: str | os.PathLike | None,
+        checkpoint_every: int,
+        checkpoint_dir: str | os.PathLike | None,
+        keep_last: int,
+        fault_injector: "FaultInjector | None",
+    ) -> TrainResult:
         from . import checkpoint as ckpt_io  # local import: cycle guard
 
         epochs = epochs if epochs is not None else self.config.epochs
@@ -408,15 +508,28 @@ class OmniMatchTrainer:
             best_state = loaded.best_state
             stale = loaded.stale
             start_epoch = loaded.epoch + 1
-            health.append(HealthEvent(
+            self._note_health(health, HealthEvent(
                 epoch=loaded.epoch, kind="resume",
                 detail=f"resumed from {loaded_path}",
             ))
 
+        self._emit(
+            "run_start",
+            seed=self.config.seed,
+            epochs=epochs,
+            start_epoch=start_epoch,
+            train_interactions=len(interactions),
+            batch_size=self.config.batch_size,
+            dtype=self.config.dtype,
+            optimizer=self.config.optimizer,
+            legacy_path=self.config.legacy_path,
+            rng=self._rng_checksum(),
+        )
         retries_left = self.config.max_divergence_retries
         fallback_next = False
         self.model.train()
         previous_fast = nn.set_fast_math(not self.config.legacy_path)
+        status = "aborted"
         try:
             epoch = start_epoch
             while epoch <= epochs:
@@ -426,21 +539,22 @@ class OmniMatchTrainer:
                 use_fallback = fallback_next
                 fallback_next = False
                 if use_fallback:
-                    health.append(HealthEvent(
+                    self._note_health(health, HealthEvent(
                         epoch=epoch, kind="kernel_fallback",
                         detail="retrying epoch on reference (non-fast-math) kernels",
                     ))
                 try:
                     was_fast = nn.set_fast_math(False) if use_fallback else None
                     try:
-                        stats = self._run_epoch(
-                            epoch, interactions, optimizer, fault_injector
-                        )
+                        with self.tracer.span("epoch"):
+                            stats = self._run_epoch(
+                                epoch, interactions, optimizer, fault_injector
+                            )
                     finally:
                         if use_fallback:
                             nn.set_fast_math(was_fast)
                 except _DivergenceDetected as detected:
-                    health.append(HealthEvent(
+                    self._note_health(health, HealthEvent(
                         epoch=epoch, kind=detected.kind, batch=detected.batch,
                         value=detected.value,
                     ))
@@ -453,12 +567,12 @@ class OmniMatchTrainer:
                             f"{self.config.max_divergence_retries} exhausted"
                         ) from None
                     retries_left -= 1
-                    health.append(HealthEvent(
+                    self._note_health(health, HealthEvent(
                         epoch=epoch, kind="rollback", batch=detected.batch,
                         detail="restored start-of-epoch model/optimizer/RNG state",
                     ))
                     optimizer.lr = optimizer.lr * self.config.lr_backoff_factor
-                    health.append(HealthEvent(
+                    self._note_health(health, HealthEvent(
                         epoch=epoch, kind="lr_backoff", value=optimizer.lr,
                         detail=f"learning rate scaled by {self.config.lr_backoff_factor}",
                     ))
@@ -471,11 +585,33 @@ class OmniMatchTrainer:
                     validate_every and epoch % validate_every == 0
                 )
                 if want_valid:
-                    stats.valid_rmse = self._validation_rmse(result)
+                    with self._phase("validation"):
+                        stats.valid_rmse = self._validation_rmse(result)
                     # Validation flips the model to eval mode; restore train
                     # mode for the next epoch regardless of early stopping.
                     self.model.train()
                 history.append(stats)
+                rng_digest = self._rng_checksum()
+                samples = len(interactions)
+                rate = throughput(samples, stats.seconds)
+                self.metrics.observe("epoch_seconds", stats.seconds)
+                self.metrics.observe("samples_per_sec", rate)
+                self.metrics.set_gauge("rng_checksum", rng_digest)
+                if stats.valid_rmse is not None:
+                    self.metrics.set_gauge("valid_rmse", stats.valid_rmse)
+                self._emit(
+                    "epoch",
+                    epoch=stats.epoch,
+                    seconds=stats.seconds,
+                    samples=samples,
+                    samples_per_sec=rate,
+                    total=stats.total,
+                    rating=stats.rating,
+                    scl=stats.scl,
+                    domain=stats.domain,
+                    valid_rmse=stats.valid_rmse,
+                    rng=rng_digest,
+                )
                 stopping = False
                 if self.config.early_stopping and stats.valid_rmse is not None:
                     if stats.valid_rmse < best_rmse - 1e-6:
@@ -505,14 +641,19 @@ class OmniMatchTrainer:
                         target,
                     )
                     ckpt_io.prune_checkpoints(checkpoint_dir, keep_last)
-                    health.append(HealthEvent(
+                    self._note_health(health, HealthEvent(
                         epoch=epoch, kind="checkpoint", detail=str(target),
                     ))
                 if stopping:
                     break
                 epoch += 1
+            status = "completed"
+        except TrainingDivergedError:
+            status = "diverged"
+            raise
         finally:
             nn.set_fast_math(previous_fast)
+            self._finish_run(status, history)
         if best_state is not None:
             self.model.load_state_dict(best_state)
         self.model.eval()
@@ -532,19 +673,19 @@ class OmniMatchTrainer:
         for batch_index, arrays in enumerate(self._epoch_batches(interactions)):
             if injector is not None:
                 injector.before_batch(epoch, batch_index)
-            with self.perf.section("forward"):
+            with self._phase("forward"):
                 losses = self.model.compute_losses(*arrays)
             if injector is not None:
                 injector.after_forward(epoch, batch_index, losses)
             total = float(losses["total"].item())
             if not np.isfinite(total):
                 raise _DivergenceDetected("nonfinite_loss", batch_index, total)
-            with self.perf.section("backward"):
+            with self._phase("backward"):
                 optimizer.zero_grad()
                 losses["total"].backward()
             if injector is not None:
                 injector.after_backward(epoch, batch_index, self.model.parameters())
-            with self.perf.section("optimizer"):
+            with self._phase("optimizer"):
                 grad_norm = nn.clip_grad_norm(
                     self.model.parameters(), self.config.grad_clip
                 )
@@ -556,6 +697,21 @@ class OmniMatchTrainer:
             for key in sums:
                 sums[key] += losses[key].item()
             batches += 1
+            batch_samples = int(arrays[3].shape[0])
+            self.metrics.inc("batches")
+            self.metrics.inc("samples", batch_samples)
+            self.metrics.observe("batch_loss", total)
+            self.metrics.observe("grad_norm", float(grad_norm))
+            self.metrics.set_gauge("lr", float(optimizer.lr))
+            self._emit(
+                "batch",
+                epoch=epoch,
+                batch=batch_index,
+                loss=total,
+                grad_norm=float(grad_norm),
+                lr=float(optimizer.lr),
+                samples=batch_samples,
+            )
         seconds = time.perf_counter() - start
         return EpochStats(
             epoch=epoch,
@@ -565,6 +721,30 @@ class OmniMatchTrainer:
             domain=sums["domain"] / batches,
             seconds=seconds,
         )
+
+    def _finish_run(self, status: str, history: list[EpochStats]) -> None:
+        """Emit the end-of-run summary events and flush the sink.
+
+        Runs from ``fit``'s finally block, so even an aborted run (a crash
+        mid-epoch, an exhausted divergence budget) leaves a telemetry file
+        that ends with ``span_summary`` / ``metrics_summary`` / ``run_end``.
+        """
+        summary = self.metrics.snapshot()
+        if nn.tensor_stats_enabled():
+            summary["gauges"]["tensor_ops"] = repr(nn.tensor_stats())
+        self._emit(
+            "span_summary",
+            totals=self.tracer.totals(),
+            spans=self.tracer.summary(),
+            perf={
+                name: entry["seconds"] for name, entry in self.perf.summary().items()
+            },
+        )
+        self._emit("metrics_summary", **summary)
+        self._emit("run_end", status=status, epochs_trained=len(history))
+        sink = self.telemetry if self.telemetry is not None else get_active_sink()
+        if sink is not None:
+            sink.flush()
 
     # ------------------------------------------------------------------
     # Training-state capture (in-memory rollback + on-disk checkpoints)

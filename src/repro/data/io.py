@@ -16,6 +16,7 @@ import warnings
 from typing import Iterable
 
 from ..atomicio import atomic_write_bytes
+from ..obs import emit_event
 from .records import CrossDomainDataset, DomainData, Review
 
 __all__ = ["load_domain_jsonl", "save_domain_jsonl", "load_cross_domain_jsonl"]
@@ -129,6 +130,13 @@ def load_domain_jsonl(
             RuntimeWarning,
             stacklevel=2,
         )
+    emit_event(
+        "dataset_load",
+        path=str(path),
+        domain=name,
+        records=len(reviews),
+        skipped=len(bad),
+    )
     return DomainData(name, reviews)
 
 
@@ -156,6 +164,12 @@ def save_domain_jsonl(
         }
         lines.append(json.dumps(record) + "\n")
     atomic_write_bytes(path, "".join(lines).encode("utf-8"))
+    emit_event(
+        "dataset_save",
+        path=str(path),
+        domain=domain.name,
+        records=len(domain.reviews),
+    )
 
 
 def load_cross_domain_jsonl(

@@ -3,7 +3,12 @@
 from .metrics import mae, rmse
 from .protocol import ExperimentResult, run_experiment, run_scenario_methods
 from .registry import METHODS, PAPER_METHODS, FittedMethod, make_predictor
-from .results import format_comparison, format_table, improvement_over_best_baseline
+from .results import (
+    format_comparison,
+    format_table,
+    improvement_over_best_baseline,
+    write_results_json,
+)
 from .significance import BootstrapResult, paired_bootstrap
 
 __all__ = [
@@ -19,6 +24,7 @@ __all__ = [
     "format_table",
     "format_comparison",
     "improvement_over_best_baseline",
+    "write_results_json",
     "BootstrapResult",
     "paired_bootstrap",
 ]

@@ -14,6 +14,14 @@ def _validate(actual: np.ndarray, predicted: np.ndarray) -> tuple[np.ndarray, np
         raise ValueError(f"shape mismatch: {actual.shape} vs {predicted.shape}")
     if actual.size == 0:
         raise ValueError("cannot compute a metric over zero interactions")
+    # A NaN/Inf silently poisons the whole average; fail loudly instead so a
+    # diverged model (or corrupted ground truth) cannot report a NaN score.
+    if not np.all(np.isfinite(actual)):
+        raise ValueError("actual ratings contain non-finite values (NaN/Inf)")
+    if not np.all(np.isfinite(predicted)):
+        raise ValueError(
+            "predictions contain non-finite values (NaN/Inf) — did the model diverge?"
+        )
     return actual, predicted
 
 

@@ -4,19 +4,31 @@
 fits a method, and scores RMSE/MAE on the held-out cold-start test users —
 averaged over ``trials`` random trials, as in the paper (§5.4: "5 random
 trials ... reported the average").
+
+When a :class:`~repro.obs.TelemetrySink` is passed (or active via
+:func:`~repro.obs.use_sink`), every trial emits a ``trial`` event tagged
+with its span path and seed, and each experiment closes with an
+``experiment`` summary event; the trainer's own per-epoch/per-batch events
+flow into the same sink because the experiment installs it as the ambient
+sink while methods fit.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core import OmniMatchConfig
 from ..data import CrossDomainDataset, cold_start_split, generate_scenario
+from ..obs import SpanTracer, get_active_sink, use_sink
 from .metrics import mae, rmse
 from .registry import make_predictor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import TelemetrySink
 
 __all__ = ["ExperimentResult", "run_experiment", "run_scenario_methods"]
 
@@ -60,6 +72,7 @@ def run_experiment(
     seed: int = 0,
     config: OmniMatchConfig | None = None,
     dataset: CrossDomainDataset | None = None,
+    telemetry: "TelemetrySink | None" = None,
     **generator_overrides,
 ) -> ExperimentResult:
     """Evaluate ``method`` on one cross-domain scenario.
@@ -68,36 +81,80 @@ def run_experiment(
     the averages carry split variance, matching the paper's protocol. The
     generated world itself is held fixed across trials — it plays the role
     of the (fixed) real dataset.
+
+    ``telemetry`` (optional) receives one ``trial`` event per trial and a
+    closing ``experiment`` event; it is installed as the ambient sink for
+    the duration of the run so nested emitters (trainer epochs/batches,
+    checkpoint I/O) land in the same ``run.jsonl``. Without it, an already
+    active ambient sink (if any) is used.
     """
-    if dataset is None:
-        dataset = generate_scenario(dataset_name, source, target, **generator_overrides)
-    rmses: list[float] = []
-    maes: list[float] = []
-    fit_seconds = 0.0
-    for trial in range(trials):
-        split = cold_start_split(
-            dataset, train_fraction=train_fraction, seed=seed + trial
+    with use_sink(telemetry):
+        sink = telemetry if telemetry is not None else get_active_sink()
+        tracer = SpanTracer()
+        if dataset is None:
+            dataset = generate_scenario(
+                dataset_name, source, target, **generator_overrides
+            )
+        rmses: list[float] = []
+        maes: list[float] = []
+        fit_seconds = 0.0
+        scenario = f"{source} -> {target}"
+        for trial in range(trials):
+            trial_seed = seed + trial
+            split = cold_start_split(
+                dataset, train_fraction=train_fraction, seed=trial_seed
+            )
+            with tracer.span(f"trial[{trial}]"):
+                start = time.perf_counter()
+                fitted = make_predictor(
+                    method, dataset, split, seed=trial_seed, config=config
+                )
+                elapsed = time.perf_counter() - start
+                fit_seconds += elapsed
+                test = split.eval_interactions(dataset, "test")
+                predicted = fitted.predict_interactions(test)
+                actual = np.array([r.rating for r in test])
+                rmses.append(rmse(actual, predicted))
+                maes.append(mae(actual, predicted))
+            if sink is not None:
+                sink.emit(
+                    "trial",
+                    method=method,
+                    scenario=scenario,
+                    trial=trial,
+                    seed=trial_seed,
+                    span=f"trial[{trial}]",
+                    rmse=rmses[-1],
+                    mae=maes[-1],
+                    fit_seconds=elapsed,
+                    test_interactions=len(test),
+                )
+        result = ExperimentResult(
+            method=method,
+            dataset=dataset_name,
+            source=source,
+            target=target,
+            rmse=float(np.mean(rmses)),
+            mae=float(np.mean(maes)),
+            trials=trials,
+            rmse_per_trial=rmses,
+            mae_per_trial=maes,
+            fit_seconds=fit_seconds,
         )
-        start = time.perf_counter()
-        fitted = make_predictor(method, dataset, split, seed=seed + trial, config=config)
-        fit_seconds += time.perf_counter() - start
-        test = split.eval_interactions(dataset, "test")
-        predicted = fitted.predict_interactions(test)
-        actual = np.array([r.rating for r in test])
-        rmses.append(rmse(actual, predicted))
-        maes.append(mae(actual, predicted))
-    return ExperimentResult(
-        method=method,
-        dataset=dataset_name,
-        source=source,
-        target=target,
-        rmse=float(np.mean(rmses)),
-        mae=float(np.mean(maes)),
-        trials=trials,
-        rmse_per_trial=rmses,
-        mae_per_trial=maes,
-        fit_seconds=fit_seconds,
-    )
+        if sink is not None:
+            sink.emit(
+                "experiment",
+                method=method,
+                scenario=scenario,
+                dataset=dataset_name,
+                rmse=result.rmse,
+                mae=result.mae,
+                trials=trials,
+                fit_seconds=fit_seconds,
+                spans=tracer.totals(),
+            )
+            sink.flush()
+        return result
 
 
 def run_scenario_methods(
@@ -107,6 +164,7 @@ def run_scenario_methods(
     target: str,
     trials: int = 3,
     seed: int = 0,
+    telemetry: "TelemetrySink | None" = None,
     **kwargs,
 ) -> list[ExperimentResult]:
     """Evaluate several methods on one scenario, sharing the generated world."""
@@ -118,7 +176,7 @@ def run_scenario_methods(
         run_experiment(
             method, dataset_name, source, target,
             trials=trials, seed=seed, dataset=dataset,
-            config=kwargs.get("config"),
+            config=kwargs.get("config"), telemetry=telemetry,
         )
         for method in methods
     ]

@@ -2,9 +2,32 @@
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import os
+
+from ..atomicio import atomic_write_text
 from .protocol import ExperimentResult
 
-__all__ = ["format_table", "format_comparison", "improvement_over_best_baseline"]
+__all__ = [
+    "format_table",
+    "format_comparison",
+    "improvement_over_best_baseline",
+    "write_results_json",
+]
+
+
+def write_results_json(
+    path: str | os.PathLike, results: list[ExperimentResult]
+) -> None:
+    """Persist experiment results as JSON, atomically.
+
+    The whole payload is serialized before any byte reaches disk and the
+    file lands via temp-file + fsync + rename, so an existing results file
+    is never truncated by a crash (or an unserializable value) mid-write.
+    """
+    payload = {"results": [dataclasses.asdict(r) for r in results]}
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def format_table(results: list[ExperimentResult], metric: str = "RMSE") -> str:

@@ -37,9 +37,13 @@ from .tensor import (
     get_default_dtype,
     is_grad_enabled,
     no_grad,
+    reset_tensor_stats,
     set_default_dtype,
     set_fast_math,
+    set_tensor_stats,
     stack,
+    tensor_stats,
+    tensor_stats_enabled,
 )
 from . import functional
 from . import init
@@ -56,6 +60,10 @@ __all__ = [
     "default_dtype",
     "set_fast_math",
     "fast_math_enabled",
+    "set_tensor_stats",
+    "tensor_stats_enabled",
+    "tensor_stats",
+    "reset_tensor_stats",
     "clear_conv_workspace",
     "conv_bank_pool",
     "max_mean_pool",

@@ -29,6 +29,7 @@ Design notes
 from __future__ import annotations
 
 import functools
+import os
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -43,6 +44,10 @@ __all__ = [
     "default_dtype",
     "set_fast_math",
     "fast_math_enabled",
+    "set_tensor_stats",
+    "tensor_stats_enabled",
+    "tensor_stats",
+    "reset_tensor_stats",
 ]
 
 _GRAD_ENABLED = True
@@ -107,6 +112,45 @@ def set_fast_math(enabled: bool) -> bool:
 def fast_math_enabled() -> bool:
     """Whether fused kernels are active (see :func:`set_fast_math`)."""
     return _FAST_MATH
+
+
+# Lightweight allocation / FLOP accounting, off by default. Enabled either
+# by exporting ``REPRO_TENSOR_STATS=1`` before import or by calling
+# :func:`set_tensor_stats` at runtime; the disabled path costs one global
+# bool check per graph node, which is lost in the noise next to the GEMMs.
+TENSOR_STATS_ENV = "REPRO_TENSOR_STATS"
+
+_TENSOR_STATS_ENABLED = os.environ.get(TENSOR_STATS_ENV, "").strip() not in ("", "0")
+_TENSOR_STATS = {"graph_tensors": 0, "graph_bytes": 0, "matmul_flops": 0}
+
+
+def set_tensor_stats(enabled: bool) -> bool:
+    """Toggle graph-node allocation/FLOP counting; returns prior setting."""
+    global _TENSOR_STATS_ENABLED
+    previous = _TENSOR_STATS_ENABLED
+    _TENSOR_STATS_ENABLED = bool(enabled)
+    return previous
+
+
+def tensor_stats_enabled() -> bool:
+    """Whether allocation/FLOP counting is active (see ``REPRO_TENSOR_STATS``)."""
+    return _TENSOR_STATS_ENABLED
+
+
+def tensor_stats() -> dict:
+    """Snapshot of the accumulated counters.
+
+    ``graph_tensors``/``graph_bytes`` count every tensor created through the
+    autograd graph helper (:meth:`Tensor._make`); ``matmul_flops`` counts
+    ``2 * m * n * k`` multiply-adds per ``@`` forward pass.
+    """
+    return dict(_TENSOR_STATS)
+
+
+def reset_tensor_stats() -> None:
+    """Zero all counters (the enabled flag is left as-is)."""
+    for key in _TENSOR_STATS:
+        _TENSOR_STATS[key] = 0
 
 
 class no_grad:
@@ -262,6 +306,9 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         out = Tensor(data)
+        if _TENSOR_STATS_ENABLED:
+            _TENSOR_STATS["graph_tensors"] += 1
+            _TENSOR_STATS["graph_bytes"] += out.data.nbytes
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(p for p in parents if p.requires_grad)
@@ -398,6 +445,11 @@ class Tensor:
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
         other = as_tensor(other, dtype=self.data.dtype)
+        out_data = self.data @ other.data
+        if _TENSOR_STATS_ENABLED:
+            # out.size multiply-add pairs per reduction step over the
+            # contracted axis: exact for 2-D, batched, and vector operands.
+            _TENSOR_STATS["matmul_flops"] += 2 * out_data.size * self.data.shape[-1]
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -411,7 +463,7 @@ class Tensor:
                 else:
                     other._accumulate(np.swapaxes(self.data, -1, -2) @ grad, owned=True)
 
-        return Tensor._make(self.data @ other.data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward)
 
     # ------------------------------------------------------------------
     # Elementwise nonlinearities

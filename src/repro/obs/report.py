@@ -1,0 +1,166 @@
+"""Run-summary rendering: turn a ``run.jsonl`` into a human-readable report.
+
+This backs the ``repro report`` CLI subcommand. The summary is computed
+purely from the telemetry stream — nothing else about the run needs to be
+on disk — so a report can be rendered on a different machine than the one
+that trained, straight from the CI artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from .telemetry import DEFAULT_FILENAME, read_events
+
+__all__ = ["load_run_events", "summarize_run", "render_report"]
+
+
+def load_run_events(path: str | os.PathLike) -> list[dict]:
+    """Events from a telemetry file, or from ``run.jsonl`` in a directory."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / DEFAULT_FILENAME
+    if not path.exists():
+        raise FileNotFoundError(f"{path}: no telemetry file")
+    return read_events(path)
+
+
+def summarize_run(events: list[dict]) -> dict:
+    """Aggregate a run's events into one summary dict.
+
+    Keys: ``run`` / ``status`` / ``epochs`` (count) / ``samples`` /
+    ``seconds`` / ``samples_per_sec`` / ``phases`` (per-phase totals from
+    the final span summary) / ``health`` (counts by health kind) /
+    ``final`` (last epoch's metrics) / ``trials`` (evaluation results) /
+    ``checkpoints`` (written count).
+    """
+    summary: dict = {
+        "run": None,
+        "status": None,
+        "epochs": 0,
+        "samples": 0.0,
+        "seconds": 0.0,
+        "samples_per_sec": 0.0,
+        "phases": {},
+        "spans": {},
+        "health": {},
+        "final": {},
+        "metrics": {},
+        "trials": [],
+        "checkpoints": 0,
+    }
+    for event in events:
+        kind = event.get("kind")
+        if summary["run"] is None and "run" in event:
+            summary["run"] = event["run"]
+        if kind == "epoch":
+            summary["epochs"] += 1
+            summary["samples"] += event.get("samples", 0)
+            summary["seconds"] += event.get("seconds", 0.0)
+            summary["final"] = {
+                key: event[key]
+                for key in ("epoch", "total", "rating", "scl", "domain",
+                            "valid_rmse", "samples_per_sec", "rng")
+                if key in event
+            }
+        elif kind == "health":
+            name = event.get("health_kind", "unknown")
+            summary["health"][name] = summary["health"].get(name, 0) + 1
+        elif kind == "span_summary":
+            summary["phases"] = event.get("totals", {})
+            summary["spans"] = event.get("spans", {})
+        elif kind == "metrics_summary":
+            summary["metrics"] = {
+                "counters": event.get("counters", {}),
+                "gauges": event.get("gauges", {}),
+                "histograms": event.get("histograms", {}),
+            }
+        elif kind == "run_end":
+            summary["status"] = event.get("status")
+        elif kind == "checkpoint_write":
+            summary["checkpoints"] += 1
+        elif kind == "trial":
+            summary["trials"].append(
+                {
+                    key: event[key]
+                    for key in ("method", "trial", "seed", "rmse", "mae")
+                    if key in event
+                }
+            )
+    if summary["seconds"] > 0:
+        summary["samples_per_sec"] = summary["samples"] / summary["seconds"]
+    return summary
+
+
+def _format_seconds(seconds: float) -> str:
+    return f"{seconds:8.3f}s"
+
+
+def render_report(events: list[dict]) -> str:
+    """Render the run summary as the plain-text report the CLI prints."""
+    summary = summarize_run(events)
+    lines = [
+        f"run {summary['run'] or '<unknown>'} — "
+        f"status: {summary['status'] or 'in progress'}",
+        f"epochs: {summary['epochs']}  samples: {summary['samples']:.0f}  "
+        f"wall-clock: {summary['seconds']:.2f}s  "
+        f"throughput: {summary['samples_per_sec']:.1f} samples/s",
+    ]
+
+    if summary["phases"]:
+        # Share is relative to total traced wall-clock (the sum of top-level
+        # spans), so a parent like ``epoch`` reads ~100% and its nested
+        # phases read as fractions of it — not a double-counting sum.
+        top_level = [
+            entry["inclusive_seconds"]
+            for path, entry in summary["spans"].items()
+            if "/" not in path
+        ]
+        total = sum(top_level) if top_level else sum(summary["phases"].values())
+        lines.append("")
+        lines.append("phase time breakdown")
+        width = max(len(name) for name in summary["phases"])
+        for name, seconds in sorted(
+            summary["phases"].items(), key=lambda kv: -kv[1]
+        ):
+            share = 100.0 * seconds / total if total > 0 else 0.0
+            lines.append(
+                f"  {name:<{width}s} {_format_seconds(seconds)} {share:5.1f}%"
+            )
+
+    if summary["health"]:
+        lines.append("")
+        lines.append("health events")
+        for name, count in sorted(summary["health"].items()):
+            lines.append(f"  {name:<16s} {count}")
+
+    if summary["final"]:
+        lines.append("")
+        final = summary["final"]
+        parts = [f"epoch {final.get('epoch', '?')}"]
+        if "total" in final:
+            parts.append(f"loss {final['total']:.4f}")
+        if final.get("valid_rmse") is not None:
+            parts.append(f"valid RMSE {final['valid_rmse']:.4f}")
+        if "samples_per_sec" in final:
+            parts.append(f"{final['samples_per_sec']:.1f} samples/s")
+        if "rng" in final:
+            parts.append(f"rng {final['rng']}")
+        lines.append("final metrics: " + "  ".join(parts))
+
+    if summary["trials"]:
+        lines.append("")
+        lines.append("evaluation trials")
+        for trial in summary["trials"]:
+            lines.append(
+                f"  {trial.get('method', '?'):<12s} trial {trial.get('trial', '?')} "
+                f"(seed {trial.get('seed', '?')}): "
+                f"RMSE {trial.get('rmse', float('nan')):.3f}  "
+                f"MAE {trial.get('mae', float('nan')):.3f}"
+            )
+
+    if summary["checkpoints"]:
+        lines.append("")
+        lines.append(f"checkpoints written: {summary['checkpoints']}")
+    return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""Per-run telemetry sink: structured events streamed to ``run.jsonl``.
+
+One :class:`TelemetrySink` owns one run's event stream. Every event is a
+single JSON object on its own line with four base fields — ``seq`` (dense,
+monotone), ``ts`` (unix seconds), ``run`` (the run id), and ``kind`` — plus
+kind-specific payload fields (see :mod:`repro.obs.schema`). Lines go through
+:class:`repro.atomicio.LineAppender`, so a crash tears at most the final
+line and size-based rotation keeps unbounded runs bounded on disk.
+
+Emitters do not take a sink parameter through every call chain. Instead a
+process-local *active sink* stack (:func:`use_sink` / :func:`emit_event`)
+lets leaf code — checkpoint writers, dataset loaders, the experiment
+protocol — publish events whenever some enclosing scope installed a sink,
+and stay silent (one list lookup) otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "TelemetrySink",
+    "emit_event",
+    "get_active_sink",
+    "read_events",
+    "use_sink",
+]
+
+DEFAULT_FILENAME = "run.jsonl"
+#: Rotation threshold for the active segment (8 MiB).
+DEFAULT_MAX_BYTES = 8 * 1024 * 1024
+
+
+def _json_default(value):
+    """Make numpy scalars/arrays and paths JSON-serializable in events."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, os.PathLike):
+        return str(value)
+    raise TypeError(f"cannot serialize {type(value).__name__} in a telemetry event")
+
+
+class TelemetrySink:
+    """Appends structured run events to ``<directory>/run.jsonl``."""
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        filename: str = DEFAULT_FILENAME,
+        run_id: str | None = None,
+        max_bytes: int | None = DEFAULT_MAX_BYTES,
+        max_files: int = 3,
+    ) -> None:
+        from ..atomicio import LineAppender  # local import: keep module light
+
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / filename
+        self.run_id = run_id if run_id is not None else f"run-{os.getpid():05d}"
+        self._appender = LineAppender(
+            self.path, max_bytes=max_bytes, max_files=max_files
+        )
+        self._seq = 0
+        self._closed = False
+
+    @property
+    def event_count(self) -> int:
+        """Events emitted through this sink so far."""
+        return self._seq
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Append one event; returns the event dict as written."""
+        if self._closed:
+            raise RuntimeError(f"telemetry sink for {self.path} is closed")
+        event = {"seq": self._seq, "ts": time.time(), "run": self.run_id, "kind": kind}
+        event.update(fields)
+        self._appender.append(
+            json.dumps(event, sort_keys=True, default=_json_default)
+        )
+        self._seq += 1
+        return event
+
+    def flush(self, fsync: bool = False) -> None:
+        """Flush buffered events to the OS (and optionally to disk)."""
+        self._appender.flush(fsync=fsync)
+
+    def close(self) -> None:
+        """Durably flush and close the stream (idempotent)."""
+        self._appender.close()
+        self._closed = True
+
+    def __enter__(self) -> "TelemetrySink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Active-sink stack (ambient emission for leaf modules)
+# ----------------------------------------------------------------------
+_ACTIVE_SINKS: list[TelemetrySink] = []
+
+
+def get_active_sink() -> TelemetrySink | None:
+    """Innermost sink installed by :func:`use_sink` (None when none is)."""
+    return _ACTIVE_SINKS[-1] if _ACTIVE_SINKS else None
+
+
+@contextmanager
+def use_sink(sink: TelemetrySink | None) -> Iterator[TelemetrySink | None]:
+    """Install ``sink`` as the active sink for the block (None is a no-op)."""
+    if sink is None:
+        yield None
+        return
+    _ACTIVE_SINKS.append(sink)
+    try:
+        yield sink
+    finally:
+        _ACTIVE_SINKS.pop()
+
+
+def emit_event(kind: str, **fields) -> dict | None:
+    """Emit to the active sink, if any; returns the event or None."""
+    sink = get_active_sink()
+    if sink is None:
+        return None
+    return sink.emit(kind, **fields)
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+def read_events(
+    path: str | os.PathLike, include_rotated: bool = True
+) -> list[dict]:
+    """Parse a ``run.jsonl`` (plus rotated segments, oldest first).
+
+    A torn *final* line of the active segment — the one partial write a
+    crash can leave behind — is skipped. A malformed line anywhere else
+    raises ``ValueError``: that is corruption, not a torn tail.
+    """
+    path = Path(path)
+    segments: list[Path] = []
+    if include_rotated:
+        index = 1
+        rotated = []
+        while True:
+            candidate = path.with_name(f"{path.name}.{index}")
+            if not candidate.exists():
+                break
+            rotated.append(candidate)
+            index += 1
+        segments.extend(reversed(rotated))  # highest suffix = oldest
+    segments.append(path)
+
+    events: list[dict] = []
+    for segment in segments:
+        lines = segment.read_text(encoding="utf-8").splitlines()
+        is_active = segment == path
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                if is_active and number == len(lines):
+                    break  # torn tail from a crash mid-append: tolerated
+                raise ValueError(
+                    f"{segment}:{number}: malformed telemetry event ({error})"
+                ) from error
+    return events

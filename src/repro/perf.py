@@ -10,6 +10,10 @@ totals the same registry feeds.
 
 The registry costs two ``perf_counter`` calls per section — negligible next
 to a single batch's GEMMs — so it is always on in the trainer.
+
+For hierarchical traces (nested spans, exclusive time, telemetry export)
+see :class:`repro.obs.SpanTracer`, which subsumes this flat registry; the
+trainer feeds both from one measurement so their totals always agree.
 """
 
 from __future__ import annotations
@@ -29,17 +33,28 @@ class PerfRegistry:
     def __init__(self) -> None:
         self._seconds: dict[str, float] = {}
         self._calls: dict[str, int] = {}
+        self._depth: dict[str, int] = {}
 
     @contextmanager
     def section(self, name: str) -> Iterator[None]:
-        """Time the enclosed block under ``name`` (re-entrant per name)."""
+        """Time the enclosed block under ``name`` (re-entrant per name).
+
+        Nested sections of the *same* name accumulate wall-clock only at
+        the outermost level — the inner block's time is already inside the
+        outer measurement, so adding it again would double-count. Calls
+        are still counted per entry.
+        """
+        depth = self._depth.get(name, 0)
+        self._depth[name] = depth + 1
         start = time.perf_counter()
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+            self._depth[name] = depth
             self._calls[name] = self._calls.get(name, 0) + 1
+            if depth == 0:
+                self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
 
     def record(self, name: str, seconds: float) -> None:
         """Add an externally-measured duration under ``name``."""
@@ -61,15 +76,24 @@ class PerfRegistry:
         """Clear all accumulated totals."""
         self._seconds.clear()
         self._calls.clear()
+        self._depth.clear()
 
 
 def throughput(samples: int, seconds: float) -> float:
-    """Samples per second, 0.0 when no time elapsed."""
+    """Samples per second, 0.0 when no time elapsed (or negative skew)."""
     return samples / seconds if seconds > 0 else 0.0
 
 
 def write_report(path: str | os.PathLike, payload: dict) -> None:
-    """Write a benchmark payload as pretty-printed JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Write a benchmark payload as pretty-printed JSON, atomically.
+
+    The payload is serialized in full before any byte reaches disk and the
+    file is replaced via temp-file + fsync + rename
+    (:func:`repro.atomicio.atomic_write_text`), so a crash — or an
+    unserializable payload — mid-write never truncates an existing report.
+    """
+    from .atomicio import atomic_write_text  # local import: keep module light
+
+    atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

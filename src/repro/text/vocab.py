@@ -91,12 +91,22 @@ class Vocabulary:
         return np.asarray(ids, dtype=np.int64)
 
     def decode(self, indices: Iterable[int], skip_pad: bool = True) -> list[str]:
-        """Map indices back to tokens, skipping padding by default."""
+        """Map indices back to tokens, skipping padding by default.
+
+        Out-of-range indices — negative or beyond the vocabulary, e.g. from
+        a corrupted checkpointed batch — decode to the unk token, mirroring
+        :meth:`index_of`'s fallback for unknown tokens, instead of raising
+        ``IndexError`` (or silently decoding ``-1`` as the last token).
+        """
+        size = len(self._tokens)
         out = []
         for index in indices:
+            index = int(index)
             if skip_pad and index == self.pad_index:
                 continue
-            out.append(self._tokens[int(index)])
+            if not 0 <= index < size:
+                index = self.unk_index
+            out.append(self._tokens[index])
         return out
 
     @property

@@ -187,3 +187,30 @@ class TestCrossDomain:
         dataset = load_cross_domain_jsonl(src, tgt, "books", "movies")
         assert dataset.overlapping_users == set()
         assert dataset.source.users == {"a"}
+
+
+class TestTelemetryEvents:
+    def test_load_and_save_emit_dataset_events(self, tmp_path):
+        from repro.obs import TelemetrySink, read_events, use_sink
+
+        path = tmp_path / "books.jsonl"
+        write_jsonl(path, AMAZON_RECORDS)
+        sink = TelemetrySink(tmp_path / "obs", run_id="io-test")
+        with use_sink(sink):
+            domain = load_domain_jsonl(path, "books")
+            save_domain_jsonl(domain, tmp_path / "out.jsonl")
+        sink.close()
+        events = read_events(sink.path)
+        [load] = [e for e in events if e["kind"] == "dataset_load"]
+        assert load["domain"] == "books"
+        assert load["records"] == 2
+        assert load["skipped"] == 0
+        [save] = [e for e in events if e["kind"] == "dataset_save"]
+        assert save["records"] == 2
+        assert save["path"].endswith("out.jsonl")
+
+    def test_no_sink_no_events_no_crash(self, tmp_path):
+        path = tmp_path / "books.jsonl"
+        write_jsonl(path, AMAZON_RECORDS)
+        domain = load_domain_jsonl(path, "books")
+        assert len(domain.reviews) == 2

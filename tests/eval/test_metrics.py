@@ -34,6 +34,39 @@ class TestMAE:
         assert mae(np.array([4.0]), np.array([4.0])) == 0.0
 
 
+class TestValidation:
+    """_validate error paths: shape mismatch, empty arrays, non-finite input."""
+
+    @pytest.mark.parametrize("metric", [rmse, mae])
+    def test_shape_mismatch_names_shapes(self, metric):
+        with pytest.raises(ValueError, match=r"shape mismatch.*\(2,\).*\(3,\)"):
+            metric(np.ones(2), np.ones(3))
+
+    @pytest.mark.parametrize("metric", [rmse, mae])
+    def test_empty_arrays_rejected(self, metric):
+        with pytest.raises(ValueError, match="zero interactions"):
+            metric(np.array([]), np.array([]))
+
+    @pytest.mark.parametrize("metric", [rmse, mae])
+    def test_nan_prediction_rejected(self, metric):
+        # A single NaN used to silently poison the average into a NaN score.
+        with pytest.raises(ValueError, match="predictions contain non-finite"):
+            metric(np.array([1.0, 2.0]), np.array([1.0, np.nan]))
+
+    @pytest.mark.parametrize("metric", [rmse, mae])
+    def test_inf_prediction_rejected(self, metric):
+        with pytest.raises(ValueError, match="predictions contain non-finite"):
+            metric(np.array([1.0]), np.array([np.inf]))
+
+    @pytest.mark.parametrize("metric", [rmse, mae])
+    def test_nan_ground_truth_rejected(self, metric):
+        with pytest.raises(ValueError, match="actual ratings contain non-finite"):
+            metric(np.array([np.nan]), np.array([1.0]))
+
+    def test_scalar_shapes_still_work(self):
+        assert rmse(np.float64(3.0), np.float64(3.0)) == 0.0
+
+
 class TestProperties:
     @given(st.lists(st.floats(1.0, 5.0), min_size=1, max_size=30))
     @settings(max_examples=40, deadline=None)

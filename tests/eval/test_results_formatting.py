@@ -51,3 +51,39 @@ class TestFormatTable:
         ]
         header = format_table(results).splitlines()[0]
         assert header.index("Zeta") < header.index("Alpha")
+
+
+class TestWriteResultsJson:
+    def test_roundtrip(self, tmp_path):
+        import json
+
+        from repro.eval import write_results_json
+
+        path = tmp_path / "results.json"
+        write_results_json(path, [cell("A", ("books", "movies"), 1.1, 0.9)])
+        payload = json.loads(path.read_text())
+        [row] = payload["results"]
+        assert row["method"] == "A"
+        assert row["rmse"] == pytest.approx(1.1)
+
+    def test_crash_mid_write_preserves_old_results(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.eval import write_results_json
+        from repro.faults import SimulatedCrash
+
+        path = tmp_path / "results.json"
+        write_results_json(path, [cell("A", ("books", "movies"), 1.1, 0.9)])
+        original = path.read_bytes()
+
+        real_replace = os.replace
+
+        def crashing_replace(src, dst, *args, **kwargs):
+            if str(dst) == str(path):
+                raise SimulatedCrash("killed mid-rename")
+            return real_replace(src, dst, *args, **kwargs)
+
+        monkeypatch.setattr(os, "replace", crashing_replace)
+        with pytest.raises(SimulatedCrash):
+            write_results_json(path, [cell("B", ("books", "movies"), 2.0, 1.5)])
+        assert path.read_bytes() == original

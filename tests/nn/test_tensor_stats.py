@@ -1,0 +1,93 @@
+"""Tests for the optional allocation/FLOP counters behind REPRO_TENSOR_STATS."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def stats_on():
+    previous = nn.set_tensor_stats(True)
+    nn.reset_tensor_stats()
+    yield
+    nn.set_tensor_stats(previous)
+    nn.reset_tensor_stats()
+
+
+class TestDisabledByDefault:
+    def test_off_unless_env_set(self):
+        # The test environment does not export REPRO_TENSOR_STATS.
+        assert nn.tensor_stats_enabled() is False
+
+    def test_no_counting_when_disabled(self):
+        nn.reset_tensor_stats()
+        a = Tensor(np.ones((4, 4)), requires_grad=True)
+        _ = a @ a
+        stats = nn.tensor_stats()
+        assert stats["graph_tensors"] == 0
+        assert stats["matmul_flops"] == 0
+
+
+class TestCounting:
+    def test_graph_tensor_allocation_counted(self, stats_on):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = a + a
+        stats = nn.tensor_stats()
+        assert stats["graph_tensors"] >= 1
+        assert stats["graph_bytes"] >= out.data.nbytes
+
+    def test_matmul_flops_exact_2d(self, stats_on):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones((4, 5)), requires_grad=True)
+        _ = a @ b
+        assert nn.tensor_stats()["matmul_flops"] == 2 * 3 * 5 * 4
+
+    def test_matmul_flops_matrix_vector(self, stats_on):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        v = Tensor(np.ones(4), requires_grad=True)
+        _ = a @ v
+        assert nn.tensor_stats()["matmul_flops"] == 2 * 3 * 4
+
+    def test_counters_accumulate_and_reset(self, stats_on):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        _ = a @ a
+        _ = a @ a
+        assert nn.tensor_stats()["matmul_flops"] == 2 * (2 * 2 * 2 * 2)
+        nn.reset_tensor_stats()
+        assert nn.tensor_stats()["matmul_flops"] == 0
+
+    def test_set_tensor_stats_returns_previous(self):
+        previous = nn.set_tensor_stats(False)
+        try:
+            assert nn.set_tensor_stats(previous) is False
+        finally:
+            nn.set_tensor_stats(previous)
+
+    def test_snapshot_is_a_copy(self, stats_on):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        _ = a + a
+        snap = nn.tensor_stats()
+        snap["graph_tensors"] = -1
+        assert nn.tensor_stats()["graph_tensors"] >= 1
+
+
+class TestTrainingUnaffected:
+    def test_forward_backward_values_identical(self, stats_on):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(4, 3))
+        weight = rng.normal(size=(3, 2))
+
+        def run():
+            a = Tensor(data.copy(), requires_grad=True)
+            w = Tensor(weight.copy(), requires_grad=True)
+            out = (a @ w).sum()
+            out.backward()
+            return out.data.copy(), a.grad.copy()
+
+        with_stats = run()
+        nn.set_tensor_stats(False)
+        without_stats = run()
+        np.testing.assert_array_equal(with_stats[0], without_stats[0])
+        np.testing.assert_array_equal(with_stats[1], without_stats[1])

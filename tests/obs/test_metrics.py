@@ -1,0 +1,114 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestCounters:
+    def test_default_increment(self):
+        registry = MetricsRegistry()
+        registry.inc("batches")
+        registry.inc("batches")
+        assert registry.counter("batches") == 2.0
+
+    def test_custom_increment(self):
+        registry = MetricsRegistry()
+        registry.inc("samples", 64)
+        registry.inc("samples", 32)
+        assert registry.counter("samples") == 96.0
+
+    def test_missing_counter_reads_zero(self):
+        assert MetricsRegistry().counter("never") == 0.0
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="non-negative"):
+            registry.inc("batches", -1)
+
+    def test_zero_increment_allowed(self):
+        registry = MetricsRegistry()
+        registry.inc("batches", 0)
+        assert registry.counter("batches") == 0.0
+
+
+class TestGauges:
+    def test_last_value_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("lr", 1.0)
+        registry.set_gauge("lr", 0.5)
+        assert registry.gauge("lr") == 0.5
+
+    def test_string_gauge(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("rng_checksum", "abcd1234")
+        assert registry.gauge("rng_checksum") == "abcd1234"
+
+    def test_missing_gauge_is_none(self):
+        assert MetricsRegistry().gauge("never") is None
+
+
+class TestHistograms:
+    def test_summary_aggregates(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            registry.observe("loss", value)
+        summary = registry.snapshot()["histograms"]["loss"]
+        assert summary["count"] == 4
+        assert summary["sum"] == pytest.approx(10.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["last"] == 4.0
+        assert summary["p50"] == pytest.approx(2.5)
+
+    def test_window_bounds_memory_but_not_aggregates(self):
+        registry = MetricsRegistry()
+        for value in range(2000):
+            registry.observe("loss", float(value))
+        summary = registry.snapshot()["histograms"]["loss"]
+        # Exact aggregates cover every observation...
+        assert summary["count"] == 2000
+        assert summary["min"] == 0.0
+        assert summary["max"] == 1999.0
+        # ...while percentiles come from the bounded recent window.
+        assert summary["p50"] >= 1000.0
+
+    def test_single_observation(self):
+        registry = MetricsRegistry()
+        registry.observe("loss", 7.0)
+        summary = registry.snapshot()["histograms"]["loss"]
+        assert summary["p50"] == 7.0
+        assert summary["p95"] == 7.0
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.inc("batches")
+        registry.set_gauge("lr", 1.0)
+        registry.set_gauge("rng", "deadbeef")
+        registry.observe("loss", 2.0)
+        encoded = json.dumps(registry.snapshot())
+        decoded = json.loads(encoded)
+        assert decoded["counters"]["batches"] == 1.0
+        assert decoded["gauges"]["rng"] == "deadbeef"
+        assert decoded["histograms"]["loss"]["count"] == 1
+
+    def test_snapshot_is_a_copy(self):
+        registry = MetricsRegistry()
+        registry.inc("batches")
+        snap = registry.snapshot()
+        snap["counters"]["batches"] = 99.0
+        assert registry.counter("batches") == 1.0
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.inc("batches")
+        registry.set_gauge("lr", 1.0)
+        registry.observe("loss", 2.0)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,188 @@
+"""Unit tests for the telemetry sink, active-sink stack, and line appender."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.atomicio import LineAppender
+from repro.obs import (
+    TelemetrySink,
+    emit_event,
+    get_active_sink,
+    read_events,
+    use_sink,
+)
+
+
+class TestLineAppender:
+    def test_appends_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with LineAppender(path) as appender:
+            appender.append("one")
+            appender.append("two\n")
+        assert path.read_text() == "one\ntwo\n"
+
+    def test_append_across_reopen(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with LineAppender(path) as appender:
+            appender.append("one")
+        with LineAppender(path) as appender:
+            appender.append("two")
+        assert path.read_text() == "one\ntwo\n"
+
+    def test_rotation_shifts_segments(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with LineAppender(path, max_bytes=16, max_files=3) as appender:
+            for index in range(6):
+                appender.append(f"line-{index:02d}-padding")
+        # Active file plus rotated segments, newest rotation = .1.
+        assert path.exists()
+        rotated = sorted(p.name for p in tmp_path.glob("log.jsonl.*"))
+        assert rotated
+        assert all(name.startswith("log.jsonl.") for name in rotated)
+        # Oldest data beyond max_files rotated segments is dropped.
+        assert len(rotated) <= 3
+
+    def test_rotation_never_splits_a_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with LineAppender(path, max_bytes=10) as appender:
+            appender.append("x" * 50)  # longer than max_bytes: still one line
+            appender.append("y")
+        all_lines = []
+        for segment in [*sorted(tmp_path.glob("log.jsonl.*"), reverse=True), path]:
+            all_lines.extend(segment.read_text().splitlines())
+        assert "x" * 50 in all_lines
+        assert "y" in all_lines
+
+    def test_invalid_limits_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            LineAppender(tmp_path / "l", max_bytes=0)
+        with pytest.raises(ValueError):
+            LineAppender(tmp_path / "l", max_files=0)
+
+    def test_close_idempotent(self, tmp_path):
+        appender = LineAppender(tmp_path / "log")
+        appender.append("one")
+        appender.close()
+        appender.close()
+
+
+class TestTelemetrySink:
+    def test_events_carry_base_fields(self, tmp_path):
+        with TelemetrySink(tmp_path, run_id="r1") as sink:
+            sink.emit("run_end", status="completed", epochs_trained=3)
+        [event] = read_events(tmp_path / "run.jsonl")
+        assert event["seq"] == 0
+        assert event["run"] == "r1"
+        assert event["kind"] == "run_end"
+        assert event["status"] == "completed"
+        assert isinstance(event["ts"], float)
+
+    def test_seq_is_dense_and_counted(self, tmp_path):
+        with TelemetrySink(tmp_path, run_id="r1") as sink:
+            for index in range(5):
+                sink.emit("health", epoch=index, health_kind="checkpoint")
+            assert sink.event_count == 5
+        events = read_events(tmp_path / "run.jsonl")
+        assert [e["seq"] for e in events] == [0, 1, 2, 3, 4]
+
+    def test_numpy_values_serialized(self, tmp_path):
+        with TelemetrySink(tmp_path, run_id="r1") as sink:
+            sink.emit(
+                "batch",
+                epoch=np.int64(1),
+                batch=0,
+                loss=np.float32(2.5),
+                grad_norm=np.float64(0.1),
+                lr=1.0,
+                extra=np.array([1, 2]),
+            )
+        [event] = read_events(tmp_path / "run.jsonl")
+        assert event["epoch"] == 1
+        assert event["loss"] == pytest.approx(2.5)
+        assert event["extra"] == [1, 2]
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = TelemetrySink(tmp_path, run_id="r1")
+        sink.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sink.emit("run_end", status="completed", epochs_trained=0)
+
+    def test_unserializable_payload_raises(self, tmp_path):
+        with TelemetrySink(tmp_path, run_id="r1") as sink:
+            with pytest.raises(TypeError):
+                sink.emit("run_end", status=object(), epochs_trained=0)
+
+    def test_rotation_keeps_events_readable_in_order(self, tmp_path):
+        with TelemetrySink(tmp_path, run_id="r1", max_bytes=256) as sink:
+            for index in range(50):
+                sink.emit("health", epoch=index, health_kind="checkpoint")
+        events = read_events(tmp_path / "run.jsonl")
+        sequences = [e["seq"] for e in events]
+        # Oldest segments may be dropped, but order must be preserved and
+        # the stream must end at the newest event.
+        assert sequences == sorted(sequences)
+        assert sequences[-1] == 49
+
+
+class TestActiveSinkStack:
+    def test_no_sink_is_silent(self):
+        assert get_active_sink() is None
+        assert emit_event("health", epoch=0, health_kind="x") is None
+
+    def test_use_sink_installs_and_removes(self, tmp_path):
+        sink = TelemetrySink(tmp_path, run_id="r1")
+        with use_sink(sink):
+            assert get_active_sink() is sink
+            emit_event("health", epoch=0, health_kind="checkpoint")
+        assert get_active_sink() is None
+        sink.close()
+        assert len(read_events(sink.path)) == 1
+
+    def test_nesting_innermost_wins(self, tmp_path):
+        outer = TelemetrySink(tmp_path / "outer", run_id="outer")
+        inner = TelemetrySink(tmp_path / "inner", run_id="inner")
+        with use_sink(outer):
+            with use_sink(inner):
+                assert get_active_sink() is inner
+            assert get_active_sink() is outer
+        outer.close()
+        inner.close()
+
+    def test_use_sink_none_is_noop(self, tmp_path):
+        sink = TelemetrySink(tmp_path, run_id="r1")
+        with use_sink(sink):
+            with use_sink(None):
+                assert get_active_sink() is sink
+        sink.close()
+
+    def test_stack_unwinds_on_exception(self, tmp_path):
+        sink = TelemetrySink(tmp_path, run_id="r1")
+        with pytest.raises(ValueError):
+            with use_sink(sink):
+                raise ValueError
+        assert get_active_sink() is None
+        sink.close()
+
+
+class TestReadEvents:
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with TelemetrySink(tmp_path, run_id="r1") as sink:
+            sink.emit("health", epoch=0, health_kind="checkpoint")
+        with open(path, "a") as handle:
+            handle.write('{"seq": 1, "truncated')  # crash mid-append
+        events = read_events(path)
+        assert len(events) == 1
+
+    def test_corruption_elsewhere_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('not json\n{"seq": 0, "ts": 1, "run": "r", "kind": "x"}\n')
+        with pytest.raises(ValueError, match="malformed"):
+            read_events(path)
+
+    def test_empty_file_reads_empty(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("")
+        assert read_events(path) == []

@@ -1,0 +1,127 @@
+"""Unit tests for hierarchical tracing spans."""
+
+import pytest
+
+from repro.obs import SpanTracer
+
+
+class TestSpanLifecycle:
+    def test_nested_paths_recorded(self):
+        tracer = SpanTracer()
+        with tracer.span("epoch"):
+            with tracer.span("forward"):
+                pass
+            with tracer.span("backward"):
+                pass
+        summary = tracer.summary()
+        assert set(summary) == {"epoch", "epoch/forward", "epoch/backward"}
+        assert summary["epoch"]["calls"] == 1
+        assert summary["epoch/forward"]["calls"] == 1
+
+    def test_exit_out_of_order_raises(self):
+        tracer = SpanTracer()
+        outer = tracer.enter("outer")
+        tracer.enter("inner")
+        with pytest.raises(RuntimeError, match="out of order"):
+            tracer.exit(outer, 0.0)
+
+    def test_exit_without_enter_raises(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            tracer.exit(("ghost",), 0.0)
+
+    def test_span_closes_on_exception(self):
+        tracer = SpanTracer()
+        with pytest.raises(ValueError):
+            with tracer.span("epoch"):
+                raise ValueError
+        # Stack unwound: a fresh top-level span is recorded at the root.
+        with tracer.span("next"):
+            pass
+        assert "next" in tracer.summary()
+
+    def test_manual_enter_exit_credits_given_elapsed(self):
+        tracer = SpanTracer()
+        token = tracer.enter("forward")
+        tracer.exit(token, 1.25)
+        assert tracer.totals()["forward"] == pytest.approx(1.25)
+        assert tracer.summary()["forward"]["inclusive_seconds"] == pytest.approx(1.25)
+
+
+class TestReentrancy:
+    def test_same_name_nesting_counts_wall_clock_once(self):
+        tracer = SpanTracer()
+        outer = tracer.enter("work")
+        inner = tracer.enter("work")
+        tracer.exit(inner, 1.0)
+        tracer.exit(outer, 2.0)  # outer measurement already contains inner
+        assert tracer.totals()["work"] == pytest.approx(2.0)
+        assert tracer.call_counts()["work"] == 2
+
+    def test_sequential_same_name_accumulates(self):
+        tracer = SpanTracer()
+        for elapsed in (1.0, 2.0):
+            token = tracer.enter("work")
+            tracer.exit(token, elapsed)
+        assert tracer.totals()["work"] == pytest.approx(3.0)
+
+    def test_same_name_different_paths_both_in_summary(self):
+        tracer = SpanTracer()
+        outer = tracer.enter("work")
+        inner = tracer.enter("work")
+        tracer.exit(inner, 1.0)
+        tracer.exit(outer, 2.0)
+        summary = tracer.summary()
+        assert summary["work"]["inclusive_seconds"] == pytest.approx(2.0)
+        assert summary["work/work"]["inclusive_seconds"] == pytest.approx(1.0)
+
+
+class TestSummaries:
+    def test_exclusive_subtracts_direct_children(self):
+        tracer = SpanTracer()
+        epoch = tracer.enter("epoch")
+        forward = tracer.enter("forward")
+        tracer.exit(forward, 3.0)
+        backward = tracer.enter("backward")
+        tracer.exit(backward, 2.0)
+        tracer.exit(epoch, 10.0)
+        summary = tracer.summary()
+        assert summary["epoch"]["exclusive_seconds"] == pytest.approx(5.0)
+        assert summary["epoch/forward"]["exclusive_seconds"] == pytest.approx(3.0)
+
+    def test_exclusive_ignores_grandchildren(self):
+        tracer = SpanTracer()
+        a = tracer.enter("a")
+        b = tracer.enter("b")
+        c = tracer.enter("c")
+        tracer.exit(c, 1.0)
+        tracer.exit(b, 4.0)
+        tracer.exit(a, 10.0)
+        summary = tracer.summary()
+        # a's exclusive subtracts b (its direct child) only, not c.
+        assert summary["a"]["exclusive_seconds"] == pytest.approx(6.0)
+        assert summary["a/b"]["exclusive_seconds"] == pytest.approx(3.0)
+
+    def test_tree_view(self):
+        tracer = SpanTracer()
+        epoch = tracer.enter("epoch")
+        forward = tracer.enter("forward")
+        tracer.exit(forward, 1.0)
+        tracer.exit(epoch, 2.0)
+        tree = tracer.tree()
+        assert tree["epoch"]["seconds"] == pytest.approx(2.0)
+        assert tree["epoch"]["children"]["forward"]["seconds"] == pytest.approx(1.0)
+
+    def test_reset_clears_everything(self):
+        tracer = SpanTracer()
+        with tracer.span("work"):
+            pass
+        tracer.reset()
+        assert tracer.summary() == {}
+        assert tracer.totals() == {}
+        # An abandoned open span must not poison the next one.
+        tracer.enter("left-open")
+        tracer.reset()
+        with tracer.span("fresh"):
+            pass
+        assert set(tracer.summary()) == {"fresh"}

@@ -51,6 +51,20 @@ class TestParser:
         with pytest.raises(SystemExit, match="requires --checkpoint"):
             _cmd_train(args)
 
+    def test_train_telemetry_flag(self):
+        args = build_parser().parse_args(["train", "--telemetry", "/tmp/obs"])
+        assert args.telemetry == "/tmp/obs"
+        assert build_parser().parse_args(["train"]).telemetry is None
+
+    def test_report_parses(self):
+        args = build_parser().parse_args(["report", "/tmp/run.jsonl"])
+        assert args.command == "report"
+        assert args.path == "/tmp/run.jsonl"
+        assert args.validate is False
+        assert build_parser().parse_args(
+            ["report", "x", "--validate"]
+        ).validate is True
+
 
 class TestCommands:
     def test_info_runs(self, capsys):
@@ -70,3 +84,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "cold-start user" in out
         assert "borrowed" in out or "no like-minded" in out
+
+    def test_report_renders_run_file(self, tmp_path, capsys):
+        from repro.obs import TelemetrySink
+
+        with TelemetrySink(tmp_path, run_id="cli-test") as sink:
+            sink.emit("run_start", seed=0, epochs=1, train_interactions=10)
+            sink.emit("epoch", epoch=1, seconds=0.1, samples=10,
+                      samples_per_sec=100.0, total=1.0)
+            sink.emit("run_end", status="completed", epochs_trained=1)
+        assert main(["report", str(tmp_path), "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "schema OK" in out
+        assert "cli-test" in out
+        assert "completed" in out
+
+    def test_report_missing_file_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["report", str(tmp_path / "nope.jsonl")])

@@ -1,10 +1,13 @@
 """Unit tests for the per-phase timing registry."""
 
 import json
+import os
+import time
 
 import numpy as np
 import pytest
 
+from repro.faults import SimulatedCrash
 from repro.perf import PerfRegistry, throughput, write_report
 
 
@@ -39,6 +42,60 @@ class TestPerfRegistry:
         registry.reset()
         assert registry.summary() == {}
 
+    def test_nested_same_name_does_not_double_count(self):
+        """Re-entrant sections of one name must accumulate wall-clock once.
+
+        A recursive helper wrapped in ``section("work")`` used to add the
+        inner call's time on top of the outer measurement that already
+        contains it, inflating the phase total ~2x per nesting level.
+        """
+        registry = PerfRegistry()
+        with registry.section("work"):
+            with registry.section("work"):
+                time.sleep(0.02)
+        summary = registry.summary()
+        assert summary["work"]["calls"] == 2
+        # Double-counting would report >= 0.04s here.
+        assert summary["work"]["seconds"] < 0.035
+
+    def test_nested_same_name_survives_inner_exception(self):
+        registry = PerfRegistry()
+        with pytest.raises(ValueError):
+            with registry.section("work"):
+                with registry.section("work"):
+                    raise ValueError
+        # Depth unwound: a fresh outermost section accumulates again.
+        before = registry.seconds("work")
+        with registry.section("work"):
+            time.sleep(0.005)
+        assert registry.seconds("work") > before
+
+    def test_distinct_names_still_both_accumulate(self):
+        registry = PerfRegistry()
+        with registry.section("outer"):
+            with registry.section("inner"):
+                pass
+        assert registry.seconds("outer") >= registry.seconds("inner") >= 0.0
+        assert registry.summary()["inner"]["calls"] == 1
+
+    def test_record_then_reset_then_record(self):
+        registry = PerfRegistry()
+        registry.record("phase", 1.0)
+        registry.reset()
+        registry.record("phase", 0.25)
+        summary = registry.summary()
+        assert summary["phase"]["seconds"] == pytest.approx(0.25)
+        assert summary["phase"]["calls"] == 1
+
+    def test_record_mixes_with_section(self):
+        registry = PerfRegistry()
+        with registry.section("phase"):
+            pass
+        registry.record("phase", 1.0)
+        summary = registry.summary()
+        assert summary["phase"]["calls"] == 2
+        assert summary["phase"]["seconds"] >= 1.0
+
     def test_trainer_populates_sections(self):
         from repro.core import OmniMatchConfig, OmniMatchTrainer
         from repro.data import GeneratorConfig, cold_start_split, generate_domain_pair
@@ -67,7 +124,46 @@ class TestReporting:
         assert throughput(100, 2.0) == pytest.approx(50.0)
         assert throughput(100, 0.0) == 0.0
 
+    def test_throughput_negative_elapsed(self):
+        """Clock skew (negative elapsed) reports 0, not a negative rate."""
+        assert throughput(100, -1.0) == 0.0
+        assert throughput(0, 0.0) == 0.0
+        assert throughput(0, 5.0) == 0.0
+
     def test_write_report(self, tmp_path):
         path = tmp_path / "bench.json"
         write_report(path, {"samples_per_sec": np.float64(12.5).item()})
         assert json.loads(path.read_text())["samples_per_sec"] == 12.5
+
+    def test_write_report_crash_preserves_old_report(self, tmp_path, monkeypatch):
+        """A crash mid-write must never truncate the previous report.
+
+        The old implementation opened ``path`` with ``"w"`` (truncating it
+        immediately); a crash before the dump finished lost the previous
+        benchmark trajectory. The atomic path writes a temp file and only
+        renames on success — simulate the crash at the rename and check the
+        original survives byte-for-byte.
+        """
+        path = tmp_path / "BENCH_throughput.json"
+        write_report(path, {"run": 1})
+        original = path.read_bytes()
+
+        real_replace = os.replace
+
+        def crashing_replace(src, dst, *args, **kwargs):
+            if str(dst) == str(path):
+                raise SimulatedCrash("killed mid-rename")
+            return real_replace(src, dst, *args, **kwargs)
+
+        monkeypatch.setattr(os, "replace", crashing_replace)
+        with pytest.raises(SimulatedCrash):
+            write_report(path, {"run": 2})
+        assert path.read_bytes() == original
+
+    def test_write_report_unserializable_payload_preserves_old(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_report(path, {"run": 1})
+        original = path.read_bytes()
+        with pytest.raises(TypeError):
+            write_report(path, {"bad": object()})
+        assert path.read_bytes() == original

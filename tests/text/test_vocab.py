@@ -94,3 +94,36 @@ class TestEncodeDecode:
         ids = v.encode(tokens, length=10)
         assert len(ids) == 10
         assert (ids >= 0).all() and (ids < len(v)).all()
+
+
+class TestDecodeOutOfRange:
+    """decode must map bad indices to UNK, mirroring index_of's fallback."""
+
+    def test_too_large_index_decodes_to_unk(self):
+        v = build([["a"]])
+        assert v.decode([len(v)]) == [UNK_TOKEN]
+        assert v.decode([len(v) + 1000]) == [UNK_TOKEN]
+
+    def test_negative_index_decodes_to_unk(self):
+        # -1 used to silently wrap to the *last* vocabulary token.
+        v = build([["a", "b"]])
+        assert v.decode([-1]) == [UNK_TOKEN]
+        assert v.decode([-len(v) - 5]) == [UNK_TOKEN]
+
+    def test_mixed_good_and_bad_indices(self):
+        v = build([["a"]])
+        a = v.index_of("a")
+        assert v.decode([a, len(v), -3, a]) == ["a", UNK_TOKEN, UNK_TOKEN, "a"]
+
+    def test_numpy_indices_accepted(self):
+        v = build([["a"]])
+        ids = np.array([v.index_of("a"), len(v), -1], dtype=np.int64)
+        assert v.decode(ids) == ["a", UNK_TOKEN, UNK_TOKEN]
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_decode_never_raises(self, indices):
+        v = build([["a", "b", "c"]])
+        tokens = v.decode(indices)
+        assert all(isinstance(tok, str) for tok in tokens)
+        assert len(tokens) <= len(indices)
