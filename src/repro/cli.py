@@ -14,9 +14,16 @@ Commands
 ``case-study``
     Print the §5.10-style auxiliary-review generation trace for one
     cold-start user.
+``experiment``
+    Run one method on one scenario through the experiment protocol,
+    optionally fanning the trials across ``--workers`` processes.
+``bench``
+    Run a methods × scenarios table through the parallel engine
+    (``--workers N``) and print every cell with timing columns.
 ``report``
     Summarize a telemetry file (``run.jsonl``) written by a run with
     ``--telemetry``: phase time breakdown, health events, final metrics.
+    Also accepts a directory of per-worker shards from a parallel run.
 """
 
 from __future__ import annotations
@@ -34,7 +41,17 @@ from .core import (
     save_checkpoint,
 )
 from .data import DATASET_PROFILES, DOMAINS, cold_start_split, generate_scenario
-from .eval import METHODS, PAPER_METHODS, format_comparison, mae, rmse, run_scenario_methods
+from .eval import (
+    METHODS,
+    PAPER_METHODS,
+    PAPER_SCENARIOS,
+    format_comparison,
+    mae,
+    rmse,
+    run_experiment,
+    run_scenario_methods,
+    run_table,
+)
 from .obs import TelemetrySink, load_run_events, render_report, validate_run_file
 
 __all__ = ["main", "build_parser"]
@@ -61,6 +78,39 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="compare all paper methods on one scenario")
     add_scenario_args(compare)
     compare.add_argument("--trials", type=int, default=1)
+    compare.add_argument("--workers", type=int, default=0,
+                         help="fan the method cells across N worker processes "
+                              "(results are bit-identical to serial)")
+    compare.add_argument("--telemetry", default=None, metavar="DIR",
+                         help="write run telemetry (per-worker shards merged "
+                              "into DIR/run.jsonl when --workers >= 2)")
+
+    experiment = sub.add_parser(
+        "experiment", help="run one method on one scenario (parallel trials)"
+    )
+    add_scenario_args(experiment)
+    experiment.add_argument("--method", default="OmniMatch",
+                            choices=sorted(METHODS))
+    experiment.add_argument("--trials", type=int, default=3)
+    experiment.add_argument("--train-fraction", type=float, default=1.0)
+    experiment.add_argument("--workers", type=int, default=0,
+                            help="fan the trials across N worker processes")
+    experiment.add_argument("--telemetry", default=None, metavar="DIR")
+
+    bench = sub.add_parser(
+        "bench", help="run a methods x scenarios table through the engine"
+    )
+    bench.add_argument("--dataset", default="amazon", choices=sorted(DATASET_PROFILES))
+    bench.add_argument("--methods", default=None,
+                       help="comma-separated method names (default: paper methods)")
+    bench.add_argument("--scenarios", default=None,
+                       help="comma-separated source:target pairs "
+                            "(default: the six paper scenarios)")
+    bench.add_argument("--trials", type=int, default=1)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--workers", type=int, default=0,
+                       help="fan the table cells across N worker processes")
+    bench.add_argument("--telemetry", default=None, metavar="DIR")
 
     train = sub.add_parser("train", help="train OmniMatch and score cold-start users")
     add_scenario_args(train)
@@ -115,8 +165,62 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     results = run_scenario_methods(
         list(PAPER_METHODS), args.dataset, args.source, args.target,
         trials=args.trials, seed=args.seed,
+        workers=args.workers, telemetry_dir=args.telemetry,
     )
     print(format_comparison(results))
+    if args.telemetry:
+        print(f"telemetry written to {args.telemetry}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(
+        args.method, args.dataset, args.source, args.target,
+        trials=args.trials, train_fraction=args.train_fraction,
+        seed=args.seed, workers=args.workers, telemetry_dir=args.telemetry,
+    )
+    row = result.row(include_timing=True)
+    print("  ".join(f"{key}={value}" for key, value in row.items()))
+    if args.telemetry:
+        print(f"telemetry written to {args.telemetry}")
+    return 0
+
+
+def _parse_scenarios(spec: str | None) -> list[tuple[str, str]]:
+    if spec is None:
+        return list(PAPER_SCENARIOS)
+    scenarios = []
+    for chunk in spec.split(","):
+        source, sep, target = chunk.strip().partition(":")
+        if not sep or not source or not target:
+            raise SystemExit(f"bad scenario {chunk!r}; expected source:target")
+        scenarios.append((source, target))
+    return scenarios
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    methods = (
+        [m.strip() for m in args.methods.split(",")]
+        if args.methods else list(PAPER_METHODS)
+    )
+    unknown = sorted(set(methods) - set(METHODS))
+    if unknown:
+        raise SystemExit(f"unknown method(s): {', '.join(unknown)}")
+    results = run_table(
+        methods, args.dataset, scenarios=_parse_scenarios(args.scenarios),
+        trials=args.trials, seed=args.seed,
+        workers=args.workers, telemetry_dir=args.telemetry,
+    )
+    rows = [result.row(include_timing=True) for result in results]
+    widths = {
+        key: max(len(key), *(len(str(row[key])) for row in rows))
+        for key in rows[0]
+    }
+    print("  ".join(f"{key:<{widths[key]}}" for key in rows[0]))
+    for row in rows:
+        print("  ".join(f"{str(value):<{widths[key]}}" for key, value in row.items()))
+    if args.telemetry:
+        print(f"telemetry written to {args.telemetry}")
     return 0
 
 
@@ -186,13 +290,21 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if args.validate:
         from pathlib import Path
 
+        from .obs import find_shards
+
         target = Path(args.path)
+        targets = [target]
         if target.is_dir():
-            target = target / "run.jsonl"
-        stats = validate_run_file(target)
-        print(f"schema OK: {stats['events']} event(s), "
-              f"{stats['runs']} run(s), kinds: "
-              + ", ".join(f"{k}={v}" for k, v in sorted(stats["kinds"].items())))
+            merged = target / "run.jsonl"
+            # Validate the merged stream when present, raw shards otherwise.
+            targets = [merged] if merged.exists() else find_shards(target)
+            if not targets:
+                raise SystemExit(f"{target}: no run.jsonl or telemetry shards")
+        for item in targets:
+            stats = validate_run_file(item)
+            print(f"schema OK ({item.name}): {stats['events']} event(s), "
+                  f"{stats['runs']} run(s), kinds: "
+                  + ", ".join(f"{k}={v}" for k, v in sorted(stats["kinds"].items())))
     events = load_run_events(args.path)
     print(render_report(events))
     return 0
@@ -206,6 +318,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_generate(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "train":
         return _cmd_train(args)
     if args.command == "case-study":

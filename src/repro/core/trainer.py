@@ -150,6 +150,7 @@ class OmniMatchTrainer:
         split: ColdStartSplit,
         config: OmniMatchConfig | None = None,
         telemetry: "TelemetrySink | None" = None,
+        store: DocumentStore | None = None,
     ) -> None:
         self.dataset = dataset
         self.split = split
@@ -160,7 +161,25 @@ class OmniMatchTrainer:
         self.metrics = MetricsRegistry()
         self.telemetry = telemetry
 
-        self.store = DocumentStore(
+        if store is not None:
+            # A pre-built store (e.g. reconstructed from shared memory by a
+            # parallel worker) is only usable if it encodes exactly what
+            # this config would have encoded.
+            mismatched = [
+                name
+                for name, want in (
+                    ("doc_len", self.config.doc_len),
+                    ("vocab_size", self.config.vocab_size),
+                    ("field", self.config.field),
+                )
+                if getattr(store, name) != want
+            ]
+            if mismatched:
+                raise ValueError(
+                    "pre-built DocumentStore does not match the config on: "
+                    + ", ".join(mismatched)
+                )
+        self.store = store if store is not None else DocumentStore(
             dataset,
             split,
             doc_len=self.config.doc_len,

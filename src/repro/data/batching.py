@@ -75,6 +75,7 @@ class DocumentStore:
         self.dataset = dataset
         self.split = split
         self.doc_len = doc_len
+        self.vocab_size = vocab_size
         self.field = field
         self._cold = set(split.cold_users)
         self._train = set(split.train_users)
@@ -84,12 +85,55 @@ class DocumentStore:
         self._item_cache: dict[str, np.ndarray] = {}
         self._matrices: DocumentMatrices | None = None
 
-        corpus = [self._review_text(r) for r in self._visible_reviews()]
-        token_docs = [build_document([text]) for text in corpus]
+        self._token_docs = self._tokenize_corpus()  # kept for embedding training
         self.vocab = Vocabulary.build(
-            token_docs, max_size=vocab_size, specials=[REVIEW_SEPARATOR]
+            self._token_docs, max_size=vocab_size, specials=[REVIEW_SEPARATOR]
         )
-        self._token_docs = token_docs  # kept for embedding training
+
+    @classmethod
+    def from_matrices(
+        cls,
+        dataset: CrossDomainDataset,
+        split: ColdStartSplit,
+        *,
+        matrices: DocumentMatrices,
+        vocab: Vocabulary,
+        doc_len: int,
+        vocab_size: int = 4000,
+        field: str = "summary",
+    ) -> "DocumentStore":
+        """Wrap pre-built matrices + vocabulary without re-encoding.
+
+        Used by the parallel engine: the parent builds the store once,
+        publishes its matrices through shared memory, and each worker
+        reconstructs an equivalent store around the zero-copy views. The
+        token corpus (needed only for embedding training) is re-tokenized
+        lazily on first use; every encoding the store can produce is
+        bit-identical to the parent's because tokenization, the published
+        vocabulary, and the published matrices are all deterministic
+        functions of (dataset, split).
+        """
+        if field not in ("summary", "text"):
+            raise ValueError("field must be 'summary' or 'text'")
+        store = cls.__new__(cls)
+        store.dataset = dataset
+        store.split = split
+        store.doc_len = doc_len
+        store.vocab_size = vocab_size
+        store.field = field
+        store._cold = set(split.cold_users)
+        store._train = set(split.train_users)
+        store._user_source_cache = {}
+        store._user_target_cache = {}
+        store._item_cache = {}
+        store._matrices = matrices
+        store._token_docs = None
+        store.vocab = vocab
+        return store
+
+    def _tokenize_corpus(self) -> list[list[str]]:
+        corpus = [self._review_text(r) for r in self._visible_reviews()]
+        return [build_document([text]) for text in corpus]
 
     # ------------------------------------------------------------------
     # Visibility rules
@@ -107,6 +151,8 @@ class DocumentStore:
 
     def visible_token_documents(self) -> list[list[str]]:
         """Per-review token lists — the embedding-training corpus."""
+        if self._token_docs is None:  # store built via :meth:`from_matrices`
+            self._token_docs = self._tokenize_corpus()
         return self._token_docs
 
     # ------------------------------------------------------------------

@@ -1,7 +1,13 @@
 """``repro.eval`` — metrics, experiment protocol, method registry, tables."""
 
 from .metrics import mae, rmse
-from .protocol import ExperimentResult, run_experiment, run_scenario_methods
+from .protocol import (
+    PAPER_SCENARIOS,
+    ExperimentResult,
+    run_experiment,
+    run_scenario_methods,
+    run_table,
+)
 from .registry import METHODS, PAPER_METHODS, FittedMethod, make_predictor
 from .results import (
     format_comparison,
@@ -15,8 +21,10 @@ __all__ = [
     "rmse",
     "mae",
     "ExperimentResult",
+    "PAPER_SCENARIOS",
     "run_experiment",
     "run_scenario_methods",
+    "run_table",
     "METHODS",
     "PAPER_METHODS",
     "FittedMethod",

@@ -46,6 +46,7 @@ def _fit_omnimatch(
     split: ColdStartSplit,
     seed: int,
     config: OmniMatchConfig | None = None,
+    store=None,
 ) -> FittedMethod:
     if config is None:
         config = OmniMatchConfig(seed=seed)
@@ -53,14 +54,15 @@ def _fit_omnimatch(
         import dataclasses
 
         config = dataclasses.replace(config, seed=seed)
-    trainer = OmniMatchTrainer(dataset, split, config)
+    trainer = OmniMatchTrainer(dataset, split, config, store=store)
     result = trainer.fit()
     predictor = ColdStartPredictor(result)
     return FittedMethod("OmniMatch", predictor.predict_interactions)
 
 
 def _baseline_factory(cls, **kwargs):
-    def fit(dataset: CrossDomainDataset, split: ColdStartSplit, seed: int, config=None):
+    def fit(dataset: CrossDomainDataset, split: ColdStartSplit, seed: int,
+            config=None, store=None):
         extra = dict(kwargs)
         model = cls(**extra)
         # Baselines take their seed through their own config objects where
@@ -83,7 +85,7 @@ def _baseline_factory(cls, **kwargs):
     return fit
 
 
-#: All registered methods. Values: fn(dataset, split, seed, config) -> FittedMethod
+#: All registered methods. Values: fn(dataset, split, seed, config, store) -> FittedMethod
 METHODS: dict[str, Callable] = {
     "OmniMatch": _fit_omnimatch,
     "CMF": _baseline_factory(CMF),
@@ -115,8 +117,16 @@ def make_predictor(
     split: ColdStartSplit,
     seed: int = 0,
     config: OmniMatchConfig | None = None,
+    store=None,
 ) -> FittedMethod:
-    """Fit the named method and return its predictor."""
+    """Fit the named method and return its predictor.
+
+    ``store`` (optional) is a pre-built :class:`~repro.data.batching.
+    DocumentStore` for this exact (dataset, split); the parallel engine
+    passes one reconstructed from shared memory so document-based methods
+    skip re-encoding the corpus. Methods that do not read documents ignore
+    it.
+    """
     if name not in METHODS:
         raise KeyError(f"unknown method {name!r}; choose from {sorted(METHODS)}")
-    return METHODS[name](dataset, split, seed, config)
+    return METHODS[name](dataset, split, seed, config, store)

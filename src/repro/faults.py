@@ -39,6 +39,7 @@ __all__ = [
     "CrashInjector",
     "NonFiniteLossInjector",
     "NonFiniteGradientInjector",
+    "WorkerKillPlan",
     "random_crash_point",
     "flip_random_bit",
     "truncate_file",
@@ -162,6 +163,42 @@ class NonFiniteGradientInjector(_ScheduledFault):
             if param.grad is None:
                 param.grad = np.zeros_like(param.data)
             param.grad.flat[0] = self.value
+
+
+class WorkerKillPlan:
+    """Deterministic worker-process deaths for the parallel engine.
+
+    ``kills`` is a set of ``(task_index, attempt)`` coordinates: a worker
+    about to execute that attempt of that task instead dies on the spot
+    via ``os._exit`` — no cleanup, no exception propagation, exactly like
+    a SIGKILL'd worker. Because the coordinates include the attempt
+    number, the requeued retry (attempt + 1) proceeds normally, so a
+    chaos run exercises the death → requeue → recover path with a fully
+    reproducible schedule. The plan is picklable and travels to workers
+    in their spawn arguments.
+    """
+
+    #: Exit code used for injected deaths (distinguishable from real ones).
+    EXIT_CODE = 117
+
+    def __init__(self, kills: Sequence[tuple[int, int]]) -> None:
+        self.kills = frozenset((int(index), int(attempt)) for index, attempt in kills)
+
+    def should_kill(self, task_index: int, attempt: int) -> bool:
+        """Whether this attempt of this task is scheduled to die."""
+        return (task_index, attempt) in self.kills
+
+    def maybe_kill(self, task_index: int, attempt: int) -> None:
+        """Die via ``os._exit`` if (task_index, attempt) is scheduled.
+
+        Callers that share ``multiprocessing.Queue`` objects with other
+        processes should instead check :meth:`should_kill`, drain their
+        queue feeder threads, and then exit — dying while a feeder thread
+        holds the queue's write lock would wedge every other writer (the
+        engine does exactly this dance).
+        """
+        if self.should_kill(task_index, attempt):
+            os._exit(self.EXIT_CODE)
 
 
 def random_crash_point(

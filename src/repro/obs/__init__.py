@@ -15,6 +15,7 @@ Four pieces, composable but separable:
   report renderer (:func:`render_report`) behind ``repro report``.
 """
 
+from .merge import find_shards, merge_shards, merged_events
 from .metrics import MetricsRegistry
 from .report import load_run_events, render_report, summarize_run
 from .schema import (
@@ -47,4 +48,7 @@ __all__ = [
     "load_run_events",
     "summarize_run",
     "render_report",
+    "find_shards",
+    "merged_events",
+    "merge_shards",
 ]

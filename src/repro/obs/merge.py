@@ -1,0 +1,109 @@
+"""Merge per-worker telemetry shards into one schema-valid ``run.jsonl``.
+
+The parallel engine gives every worker process its own shard —
+``run-w<worker>g<generation>.jsonl`` — because concurrent appends to one
+file would interleave torn lines. After a run, :func:`merge_shards`
+folds the shards into the single ``run.jsonl`` that
+:func:`repro.obs.validate_run_file` and ``repro report`` expect.
+
+Ordering contract: events are merged by timestamp for readability, but
+the *schema* invariant — ``seq`` strictly increasing per run id — only
+needs per-shard order to be preserved, since every run id lives in
+exactly one shard (worker run ids encode worker + generation). Worker
+clocks can be slightly non-monotone across processes, so each shard's
+timestamps are monotonicized (running max) for the merge key; ties break
+by shard order then position, keeping the merge deterministic.
+
+The merged file ends with one ``merge`` event (run id ``merge``)
+recording the census, so a report can tell a merged stream from a native
+single-process one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import time
+from pathlib import Path
+
+from ..atomicio import LineAppender
+from .telemetry import DEFAULT_FILENAME, read_events
+
+__all__ = ["SHARD_GLOB", "find_shards", "merged_events", "merge_shards"]
+
+#: Shard filenames written by ``repro.parallel.engine`` workers.
+SHARD_GLOB = "run-*.jsonl"
+
+
+def find_shards(directory: str | os.PathLike) -> list[Path]:
+    """Worker telemetry shards in ``directory``, in stable name order."""
+    directory = Path(directory)
+    return sorted(
+        path for path in directory.glob(SHARD_GLOB)
+        if path.name != DEFAULT_FILENAME
+    )
+
+
+def _monotonic_events(path: Path, shard_index: int):
+    """Yield (merge_key, event) with per-shard running-max timestamps."""
+    running = float("-inf")
+    for position, event in enumerate(read_events(path)):
+        running = max(running, float(event.get("ts", running)))
+        yield (running, shard_index, position), event
+
+
+def merged_events(directory: str | os.PathLike) -> list[dict]:
+    """The time-merged event stream of every shard in ``directory``.
+
+    Raises ``FileNotFoundError`` when the directory holds no shards.
+    This is the in-memory form of :func:`merge_shards` — ``repro report``
+    uses it to summarize a shard directory that was never merged (e.g.
+    a run that crashed before the merge step).
+    """
+    directory = Path(directory)
+    shards = find_shards(directory)
+    if not shards:
+        raise FileNotFoundError(f"{directory}: no telemetry shards ({SHARD_GLOB})")
+    streams = [
+        _monotonic_events(path, index) for index, path in enumerate(shards)
+    ]
+    return [event for _, event in heapq.merge(*streams)]
+
+
+def merge_shards(
+    directory: str | os.PathLike,
+    output: str | os.PathLike | None = None,
+) -> Path:
+    """Merge every shard in ``directory`` into one ``run.jsonl``.
+
+    Returns the output path. Raises ``FileNotFoundError`` when the
+    directory holds no shards — merging nothing would otherwise emit an
+    empty file that downstream validation rejects confusingly.
+    """
+    directory = Path(directory)
+    shards = find_shards(directory)
+    output_path = Path(output) if output is not None else directory / DEFAULT_FILENAME
+    merged = merged_events(directory)
+
+    output_path.unlink(missing_ok=True)  # re-merge replaces, never appends
+    appender = LineAppender(output_path, max_bytes=None)
+    try:
+        for event in merged:
+            appender.append(json.dumps(event, sort_keys=True))
+        appender.append(
+            json.dumps(
+                {
+                    "seq": 0,
+                    "ts": time.time(),
+                    "run": "merge",
+                    "kind": "merge",
+                    "shards": [path.name for path in shards],
+                    "events": len(merged),
+                },
+                sort_keys=True,
+            )
+        )
+    finally:
+        appender.close()
+    return output_path

@@ -17,10 +17,21 @@ __all__ = ["load_run_events", "summarize_run", "render_report"]
 
 
 def load_run_events(path: str | os.PathLike) -> list[dict]:
-    """Events from a telemetry file, or from ``run.jsonl`` in a directory."""
+    """Events from a telemetry file, or from a run directory.
+
+    A directory is resolved to its ``run.jsonl``; when that is absent but
+    per-worker shards (``run-*.jsonl``) are present — a parallel run that
+    was never merged, e.g. because it crashed — the shards are merged in
+    memory so the report still renders.
+    """
     path = Path(path)
     if path.is_dir():
-        path = path / DEFAULT_FILENAME
+        merged = path / DEFAULT_FILENAME
+        if not merged.exists():
+            from .merge import merged_events
+
+            return merged_events(path)
+        path = merged
     if not path.exists():
         raise FileNotFoundError(f"{path}: no telemetry file")
     return read_events(path)
@@ -48,7 +59,10 @@ def summarize_run(events: list[dict]) -> dict:
         "final": {},
         "metrics": {},
         "trials": [],
+        "experiments": [],
         "checkpoints": 0,
+        "workers": {},
+        "tasks": {"ok": 0, "error": 0},
     }
     for event in events:
         kind = event.get("kind")
@@ -88,6 +102,28 @@ def summarize_run(events: list[dict]) -> dict:
                     if key in event
                 }
             )
+        elif kind == "experiment":
+            summary["experiments"].append(
+                {
+                    key: event[key]
+                    for key in ("method", "scenario", "rmse", "mae", "trials")
+                    if key in event
+                }
+            )
+        elif kind == "worker_end":
+            worker = event.get("worker", "?")
+            busy = float(event.get("busy_seconds", 0.0))
+            idle = float(event.get("idle_seconds", 0.0))
+            total = busy + idle
+            summary["workers"][worker] = {
+                "busy_seconds": busy,
+                "idle_seconds": idle,
+                "tasks_done": event.get("tasks_done", 0),
+                "utilization": busy / total if total > 0 else 0.0,
+            }
+        elif kind == "task":
+            status = event.get("status", "ok")
+            summary["tasks"][status] = summary["tasks"].get(status, 0) + 1
     if summary["seconds"] > 0:
         summary["samples_per_sec"] = summary["samples"] / summary["seconds"]
     return summary
@@ -158,6 +194,21 @@ def render_report(events: list[dict]) -> str:
                 f"(seed {trial.get('seed', '?')}): "
                 f"RMSE {trial.get('rmse', float('nan')):.3f}  "
                 f"MAE {trial.get('mae', float('nan')):.3f}"
+            )
+
+    if summary["workers"]:
+        lines.append("")
+        total_tasks = sum(summary["tasks"].values())
+        lines.append(
+            f"worker utilization ({len(summary['workers'])} workers, "
+            f"{total_tasks} tasks, {summary['tasks'].get('error', 0)} errors)"
+        )
+        for worker, stats in sorted(summary["workers"].items(), key=lambda kv: str(kv[0])):
+            lines.append(
+                f"  worker {worker}: busy {stats['busy_seconds']:.2f}s  "
+                f"idle {stats['idle_seconds']:.2f}s  "
+                f"tasks {stats['tasks_done']}  "
+                f"utilization {100.0 * stats['utilization']:.1f}%"
             )
 
     if summary["checkpoints"]:

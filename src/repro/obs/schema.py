@@ -52,6 +52,11 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     # Dataset I/O (repro.data.io)
     "dataset_load": ("path", "domain", "records"),
     "dataset_save": ("path", "domain", "records"),
+    # Parallel engine (repro.parallel.engine / repro.obs.merge)
+    "worker_start": ("worker", "generation"),
+    "worker_end": ("worker", "busy_seconds", "idle_seconds", "tasks_done"),
+    "task": ("task", "worker", "method", "scenario", "status", "seconds"),
+    "merge": ("shards", "events"),
 }
 
 _BASE_FIELDS = ("seq", "ts", "run", "kind")

@@ -1,0 +1,50 @@
+"""Deterministic multiprocess experiment execution.
+
+``repro.parallel`` fans experiment cells (and trials within a cell)
+across a pool of worker processes with bit-identical results to serial
+execution. Bulk data — generated datasets and document matrices —
+travels through ``multiprocessing.shared_memory`` segments published
+once by the parent (:mod:`~repro.parallel.shm`,
+:mod:`~repro.parallel.sharing`); supervision, crash recovery and
+telemetry sharding live in :mod:`~repro.parallel.engine`.
+"""
+
+from .engine import ExperimentTask, ParallelExecutionError, run_tasks
+from .sharing import (
+    SharedDatasetRef,
+    SharedStoreRef,
+    attach_dataset,
+    attach_document_store,
+    publish_dataset,
+    publish_document_matrices,
+)
+from .shm import (
+    AttachedPack,
+    ShmLayout,
+    ShmPack,
+    ShmRef,
+    attach,
+    live_segments,
+    pack_strings,
+    unpack_strings,
+)
+
+__all__ = [
+    "ExperimentTask",
+    "ParallelExecutionError",
+    "run_tasks",
+    "SharedDatasetRef",
+    "SharedStoreRef",
+    "publish_dataset",
+    "attach_dataset",
+    "publish_document_matrices",
+    "attach_document_store",
+    "ShmLayout",
+    "ShmRef",
+    "ShmPack",
+    "AttachedPack",
+    "attach",
+    "live_segments",
+    "pack_strings",
+    "unpack_strings",
+]

@@ -80,6 +80,70 @@ class TestRunExperiment:
         assert a.rmse == b.rmse
 
 
+class TestKwargRouting:
+    def test_unknown_generator_override_rejected(self):
+        with pytest.raises(TypeError, match="reviews_per_user_meen"):
+            run_experiment("item-mean", "amazon", "books", "movies",
+                           trials=1, reviews_per_user_meen=4.0)
+
+    def test_scenario_methods_rejects_unknown_kwargs(self):
+        from repro.eval import run_scenario_methods
+
+        with pytest.raises(TypeError, match="cold_fraktion"):
+            run_scenario_methods(["item-mean"], "amazon", "books", "movies",
+                                 trials=1, cold_fraktion=0.5, **SMALL)
+
+    def test_scenario_methods_routes_train_fraction_to_split(self):
+        from repro.eval import run_scenario_methods
+
+        via_sweep = run_scenario_methods(
+            ["global-mean"], "amazon", "books", "movies",
+            trials=1, train_fraction=0.2, **SMALL,
+        )[0]
+        direct = run_experiment(
+            "global-mean", "amazon", "books", "movies",
+            trials=1, train_fraction=0.2, **SMALL,
+        )
+        # Same split (train_fraction reached cold_start_split, not the
+        # generator) => identical metrics.
+        assert via_sweep.rmse == direct.rmse
+        assert via_sweep.mae == direct.mae
+
+    def test_explicit_dataset_with_overrides_rejected(self):
+        from repro.data import GeneratorConfig, generate_domain_pair
+
+        dataset = generate_domain_pair(
+            "books", "movies", GeneratorConfig(**SMALL, seed=2)
+        )
+        with pytest.raises(ValueError, match="num_users"):
+            run_experiment("item-mean", "amazon", "books", "movies",
+                           trials=1, dataset=dataset, num_users=10)
+
+
+class TestTimingAndSpread:
+    def test_std_and_wall_fields(self):
+        result = run_experiment("item-mean", "amazon", "books", "movies",
+                                trials=3, **SMALL)
+        assert result.rmse_std == pytest.approx(np.std(result.rmse_per_trial))
+        assert result.mae_std == pytest.approx(np.std(result.mae_per_trial))
+        # Wall clock covers fit + predict + score, so it dominates fit.
+        assert result.wall_seconds >= result.fit_seconds > 0
+
+    def test_row_timing_columns_behind_flag(self):
+        result = run_experiment("item-mean", "amazon", "books", "movies",
+                                trials=2, **SMALL)
+        assert set(result.row()) == {"method", "scenario", "RMSE", "MAE"}
+        timed = result.row(include_timing=True)
+        assert {"RMSE_std", "MAE_std", "fit_s", "wall_s"} <= set(timed)
+
+    def test_trial_offset_renumbers_seeds(self):
+        both = run_experiment("item-mean", "amazon", "books", "movies",
+                              trials=2, seed=3, **SMALL)
+        second_only = run_experiment("item-mean", "amazon", "books", "movies",
+                                     trials=1, seed=3, trial_offset=1, **SMALL)
+        assert second_only.rmse_per_trial == both.rmse_per_trial[1:]
+
+
 class TestResultFormatting:
     def _fake(self, method, rmse_value, mae_value):
         return ExperimentResult(

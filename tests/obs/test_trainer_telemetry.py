@@ -165,6 +165,10 @@ class TestEvalTelemetry:
         [experiment] = [e for e in events if e["kind"] == "experiment"]
         assert experiment["rmse"] == pytest.approx(result.rmse)
         assert experiment["trials"] == 2
+        assert experiment["rmse_std"] == pytest.approx(result.rmse_std)
+        assert experiment["mae_std"] == pytest.approx(result.mae_std)
+        assert experiment["wall_seconds"] == pytest.approx(result.wall_seconds)
+        assert trials[0]["wall_seconds"] >= trials[0]["fit_seconds"]
         validate_run_file(tmp_path / "run.jsonl")
 
     def test_no_sink_protocol_still_works(self, world):

@@ -1,0 +1,110 @@
+"""Tests for telemetry shard merging and parallel-run reporting."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    find_shards,
+    load_run_events,
+    merge_shards,
+    merged_events,
+    render_report,
+    summarize_run,
+    validate_run_file,
+)
+
+
+def write_shard(directory, name, events):
+    lines = [json.dumps(event, sort_keys=True) for event in events]
+    (directory / name).write_text("\n".join(lines) + "\n")
+
+
+def worker_events(worker, ts0, tasks):
+    run = f"w{worker}g0"
+    events = [
+        {"seq": 0, "ts": ts0, "run": run, "kind": "worker_start",
+         "worker": worker, "generation": 0},
+    ]
+    for offset, task in enumerate(tasks):
+        events.append(
+            {"seq": 1 + offset, "ts": ts0 + 1.0 + offset, "run": run,
+             "kind": "task", "task": task, "worker": worker,
+             "method": "item-mean", "scenario": "books -> movies",
+             "status": "ok", "seconds": 0.5}
+        )
+    events.append(
+        {"seq": 1 + len(tasks), "ts": ts0 + 10.0, "run": run,
+         "kind": "worker_end", "worker": worker, "busy_seconds": 6.0,
+         "idle_seconds": 2.0, "tasks_done": len(tasks)}
+    )
+    return events
+
+
+class TestMergeShards:
+    def test_merge_produces_schema_valid_run(self, tmp_path):
+        write_shard(tmp_path, "run-w0g0.jsonl", worker_events(0, 100.0, [0, 2]))
+        write_shard(tmp_path, "run-w1g0.jsonl", worker_events(1, 100.5, [1]))
+        output = merge_shards(tmp_path)
+        assert output == tmp_path / "run.jsonl"
+        stats = validate_run_file(output)
+        assert stats["runs"] == 3  # two workers + the merge marker
+        assert stats["kinds"]["merge"] == 1
+        assert stats["kinds"]["task"] == 3
+
+    def test_merge_orders_by_time_and_keeps_shard_order(self, tmp_path):
+        write_shard(tmp_path, "run-w0g0.jsonl", worker_events(0, 100.0, [0]))
+        write_shard(tmp_path, "run-w1g0.jsonl", worker_events(1, 100.5, [1]))
+        merge_shards(tmp_path)
+        events = load_run_events(tmp_path / "run.jsonl")
+        timeline = [e["ts"] for e in events[:-1]]  # merge marker stamps now()
+        assert timeline == sorted(timeline)
+        for run in ("w0g0", "w1g0"):
+            seqs = [e["seq"] for e in events if e.get("run") == run]
+            assert seqs == sorted(seqs)
+
+    def test_nonmonotone_worker_clock_tolerated(self, tmp_path):
+        events = worker_events(0, 100.0, [0])
+        events[1]["ts"] = 99.0  # clock stepped backwards mid-run
+        write_shard(tmp_path, "run-w0g0.jsonl", events)
+        write_shard(tmp_path, "run-w1g0.jsonl", worker_events(1, 100.5, [1]))
+        merge_shards(tmp_path)
+        validate_run_file(tmp_path / "run.jsonl")  # seq order survives
+
+    def test_remerge_replaces_instead_of_appending(self, tmp_path):
+        write_shard(tmp_path, "run-w0g0.jsonl", worker_events(0, 100.0, [0]))
+        merge_shards(tmp_path)
+        first = (tmp_path / "run.jsonl").read_text()
+        merge_shards(tmp_path)
+        assert (tmp_path / "run.jsonl").read_text().count('"merge"') == \
+            first.count('"merge"')
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            merge_shards(tmp_path)
+
+    def test_find_shards_excludes_merged_file(self, tmp_path):
+        write_shard(tmp_path, "run-w0g0.jsonl", worker_events(0, 100.0, [0]))
+        merge_shards(tmp_path)
+        assert [p.name for p in find_shards(tmp_path)] == ["run-w0g0.jsonl"]
+
+
+class TestParallelReport:
+    def test_report_from_unmerged_shard_directory(self, tmp_path):
+        write_shard(tmp_path, "run-w0g0.jsonl", worker_events(0, 100.0, [0, 2]))
+        write_shard(tmp_path, "run-w1g0.jsonl", worker_events(1, 100.5, [1]))
+        events = load_run_events(tmp_path)  # no run.jsonl present
+        assert events == merged_events(tmp_path)
+        summary = summarize_run(events)
+        assert set(summary["workers"]) == {0, 1}
+        assert summary["workers"][0]["tasks_done"] == 2
+        assert summary["workers"][0]["utilization"] == pytest.approx(0.75)
+        assert summary["tasks"]["ok"] == 3
+
+    def test_render_report_shows_utilization(self, tmp_path):
+        write_shard(tmp_path, "run-w0g0.jsonl", worker_events(0, 100.0, [0]))
+        merge_shards(tmp_path)
+        text = render_report(load_run_events(tmp_path))
+        assert "worker utilization" in text
+        assert "worker 0" in text
+        assert "75.0%" in text

@@ -1,0 +1,101 @@
+"""Tests for shared-memory dataset / document-store encodings."""
+
+import numpy as np
+import pytest
+
+from repro.core import OmniMatchConfig, OmniMatchTrainer
+from repro.data import GeneratorConfig, cold_start_split, generate_domain_pair
+from repro.data.batching import DocumentStore
+from repro.parallel import (
+    attach_dataset,
+    attach_document_store,
+    publish_dataset,
+    publish_document_matrices,
+)
+
+SMALL = dict(num_users=60, num_items_per_domain=30, reviews_per_user_mean=4.0)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_domain_pair("books", "movies", GeneratorConfig(**SMALL, seed=3))
+
+
+class TestDatasetSharing:
+    def test_roundtrip_preserves_reviews_exactly(self, dataset):
+        pack, ref = publish_dataset(dataset)
+        try:
+            rebuilt = attach_dataset(ref)
+        finally:
+            pack.unlink()
+        assert rebuilt.source.name == dataset.source.name
+        assert rebuilt.target.name == dataset.target.name
+        assert rebuilt.metadata == dataset.metadata
+        for side in ("source", "target"):
+            original = getattr(dataset, side).reviews
+            copy = getattr(rebuilt, side).reviews
+            assert len(copy) == len(original)
+            # Order AND content must match exactly: derived indexes and
+            # seeded RNG draws over the review lists depend on both.
+            for a, b in zip(original, copy):
+                assert a == b
+
+    def test_rebuilt_dataset_outlives_the_segment(self, dataset):
+        pack, ref = publish_dataset(dataset)
+        rebuilt = attach_dataset(ref)
+        pack.unlink()  # reviews are plain objects, not views
+        assert rebuilt.source.reviews[0] == dataset.source.reviews[0]
+
+    def test_same_split_from_rebuilt_dataset(self, dataset):
+        pack, ref = publish_dataset(dataset)
+        try:
+            rebuilt = attach_dataset(ref)
+        finally:
+            pack.unlink()
+        ours = cold_start_split(dataset, seed=7)
+        theirs = cold_start_split(rebuilt, seed=7)
+        assert ours.cold_users == theirs.cold_users
+        assert ours.train_users == theirs.train_users
+
+
+class TestStoreSharing:
+    def test_attached_store_matches_local_build(self, dataset):
+        split = cold_start_split(dataset, seed=0)
+        local = DocumentStore(dataset, split, doc_len=32, vocab_size=500)
+        pack, ref = publish_document_matrices(local)
+        try:
+            remote = attach_document_store(ref, dataset, split)
+            ours = local.build_matrices()
+            theirs = remote.build_matrices()
+            assert ours.user_slots == theirs.user_slots
+            assert ours.item_slots == theirs.item_slots
+            np.testing.assert_array_equal(ours.source, theirs.source)
+            np.testing.assert_array_equal(ours.target, theirs.target)
+            np.testing.assert_array_equal(ours.target_valid, theirs.target_valid)
+            np.testing.assert_array_equal(ours.items, theirs.items)
+            assert local.vocab.tokens == remote.vocab.tokens
+            # On-demand encodings must agree too (vocabulary identity).
+            user = next(iter(ours.user_slots))
+            np.testing.assert_array_equal(
+                local.user_source_doc(user), remote.user_source_doc(user)
+            )
+            remote.attached_pack.close()
+        finally:
+            pack.unlink()
+
+    def test_trainer_accepts_matching_prebuilt_store(self, dataset):
+        split = cold_start_split(dataset, seed=0)
+        config = OmniMatchConfig(epochs=1, patience=1, seed=0)
+        store = DocumentStore(
+            dataset, split, doc_len=config.doc_len,
+            vocab_size=config.vocab_size, field=config.field,
+        )
+        trainer = OmniMatchTrainer(dataset, split, config, store=store)
+        assert trainer.store is store
+
+    def test_trainer_rejects_mismatched_store(self, dataset):
+        split = cold_start_split(dataset, seed=0)
+        config = OmniMatchConfig(epochs=1, seed=0)
+        store = DocumentStore(dataset, split, doc_len=16, vocab_size=100)
+        with pytest.raises(ValueError, match="doc_len"):
+            OmniMatchTrainer(dataset, split, config, store=store)

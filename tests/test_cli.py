@@ -56,6 +56,35 @@ class TestParser:
         assert args.telemetry == "/tmp/obs"
         assert build_parser().parse_args(["train"]).telemetry is None
 
+    def test_compare_workers_flag(self):
+        args = build_parser().parse_args(["compare", "--workers", "2"])
+        assert args.workers == 2
+        assert build_parser().parse_args(["compare"]).workers == 0
+
+    def test_experiment_parses(self):
+        args = build_parser().parse_args([
+            "experiment", "--method", "CMF", "--trials", "2",
+            "--train-fraction", "0.5", "--workers", "2", "--telemetry", "/tmp/t",
+        ])
+        assert args.method == "CMF"
+        assert args.trials == 2
+        assert args.train_fraction == 0.5
+        assert args.workers == 2
+        assert args.telemetry == "/tmp/t"
+
+    def test_experiment_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--method", "SVD++"])
+
+    def test_bench_parses(self):
+        args = build_parser().parse_args([
+            "bench", "--methods", "item-mean,CMF",
+            "--scenarios", "books:movies,music:books", "--workers", "4",
+        ])
+        assert args.methods == "item-mean,CMF"
+        assert args.scenarios == "books:movies,music:books"
+        assert args.workers == 4
+
     def test_report_parses(self):
         args = build_parser().parse_args(["report", "/tmp/run.jsonl"])
         assert args.command == "report"
@@ -102,3 +131,44 @@ class TestCommands:
     def test_report_missing_file_errors(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(["report", str(tmp_path / "nope.jsonl")])
+
+    def test_experiment_runs_parallel_trials(self, tmp_path, capsys):
+        telemetry = tmp_path / "obs"
+        assert main([
+            "experiment", "--method", "item-mean", "--trials", "2",
+            "--workers", "2", "--telemetry", str(telemetry),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "method=item-mean" in out
+        assert "RMSE=" in out and "wall_s=" in out
+        assert (telemetry / "run.jsonl").exists()
+
+    def test_bench_prints_table(self, capsys):
+        assert main([
+            "bench", "--methods", "item-mean,global-mean",
+            "--scenarios", "books:movies", "--trials", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "item-mean" in out and "global-mean" in out
+        assert "wall_s" in out
+
+    def test_bench_rejects_bad_scenario(self):
+        with pytest.raises(SystemExit, match="source:target"):
+            main(["bench", "--scenarios", "books-movies"])
+
+    def test_bench_rejects_unknown_method(self):
+        with pytest.raises(SystemExit, match="unknown method"):
+            main(["bench", "--methods", "item-mean,SVD++"])
+
+    def test_report_validates_unmerged_shard_directory(self, tmp_path, capsys):
+        from repro.obs import TelemetrySink
+
+        with TelemetrySink(tmp_path, filename="run-w0g0.jsonl",
+                           run_id="w0g0") as sink:
+            sink.emit("worker_start", worker=0, generation=0)
+            sink.emit("worker_end", worker=0, busy_seconds=1.0,
+                      idle_seconds=1.0, tasks_done=1)
+        assert main(["report", str(tmp_path), "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "schema OK (run-w0g0.jsonl)" in out
+        assert "worker utilization" in out
