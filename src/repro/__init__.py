@@ -5,8 +5,9 @@ in Cross-Domain Recommendations using Auxiliary Reviews* (EDBT 2025),
 including the numpy autograd substrate (``repro.nn``), text processing
 (``repro.text``), synthetic Amazon/Douban-style corpora (``repro.data``),
 the OmniMatch model (``repro.core``), all six paper baselines
-(``repro.baselines``), the evaluation harness (``repro.eval``), and the
-run-telemetry layer (``repro.obs``).
+(``repro.baselines``), the evaluation harness (``repro.eval``), the
+run-telemetry layer (``repro.obs``), and the encode-once serving engine
+(``repro.serve``).
 
 Quickstart::
 
@@ -21,6 +22,9 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import baselines, core, data, eval, nn, obs, text
+from . import baselines, core, data, eval, nn, obs, serve, text
 
-__all__ = ["nn", "text", "data", "core", "baselines", "eval", "obs", "__version__"]
+__all__ = [
+    "nn", "text", "data", "core", "baselines", "eval", "obs", "serve",
+    "__version__",
+]

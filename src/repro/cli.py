@@ -14,6 +14,10 @@ Commands
 ``case-study``
     Print the §5.10-style auxiliary-review generation trace for one
     cold-start user.
+``recommend``
+    Train briefly, then rank the full target catalog for one (cold-start)
+    user through the serving engine — encode-once caches, blocked
+    full-catalog scoring, exact top-K.
 ``experiment``
     Run one method on one scenario through the experiment protocol,
     optionally fanning the trials across ``--workers`` processes.
@@ -135,6 +139,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     case = sub.add_parser("case-study", help="auxiliary-review trace for one cold user")
     add_scenario_args(case)
+
+    recommend = sub.add_parser(
+        "recommend", help="train briefly, then rank the full catalog for a user"
+    )
+    add_scenario_args(recommend)
+    recommend.add_argument("--epochs", type=int, default=8)
+    recommend.add_argument("--user", default=None, metavar="USER_ID",
+                           help="user to recommend for (default: the cold-start "
+                                "user with the richest source history)")
+    recommend.add_argument("--k", type=int, default=10,
+                           help="how many catalog items to return")
+    recommend.add_argument("--telemetry", default=None, metavar="DIR",
+                           help="stream serve-stage telemetry (index build, "
+                                "cache hits, score latency) to DIR/run.jsonl")
 
     report = sub.add_parser(
         "report", help="summarize a run.jsonl telemetry file"
@@ -267,6 +285,37 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    from .serve import InferenceEngine
+
+    dataset = generate_scenario(args.dataset, args.source, args.target)
+    split = cold_start_split(dataset, seed=args.seed)
+    config = OmniMatchConfig(epochs=args.epochs, seed=args.seed)
+    sink = TelemetrySink(args.telemetry) if args.telemetry else None
+    try:
+        result = OmniMatchTrainer(dataset, split, config, telemetry=sink).fit()
+        user = args.user
+        if user is None:
+            user = max(split.test_users,
+                       key=lambda u: len(dataset.source.reviews_of_user(u)))
+        engine = InferenceEngine(result, telemetry=sink)
+        engine.warm([user])
+        ranked = engine.recommend(user, k=args.k)
+    finally:
+        if sink is not None:
+            sink.close()
+    print(f"top-{len(ranked)} of {len(engine.items)} catalog items "
+          f"for user {user} ({dataset.scenario})")
+    for rank, rec in enumerate(ranked, start=1):
+        print(f"{rank:>3d}. {rec.item_id}  expected rating {rec.score:.3f}")
+    hits, misses = engine.users.hits, engine.users.misses
+    print(f"cache: {hits} hits / {misses} misses; "
+          f"{engine.items.encoded_count} items indexed")
+    if args.telemetry:
+        print(f"telemetry written to {sink.path}")
+    return 0
+
+
 def _cmd_case_study(args: argparse.Namespace) -> int:
     dataset = generate_scenario(args.dataset, args.source, args.target)
     split = cold_start_split(dataset, seed=args.seed)
@@ -326,6 +375,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_train(args)
     if args.command == "case-study":
         return _cmd_case_study(args)
+    if args.command == "recommend":
+        return _cmd_recommend(args)
     if args.command == "report":
         return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")

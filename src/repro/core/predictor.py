@@ -7,13 +7,20 @@ builds it with the Auxiliary Reviews Generation Module. For a training user
 When ``use_auxiliary_reviews`` is disabled (Table 5 ablation), cold users
 fall back to their *source* document as the target-extractor input — the
 suboptimal strategy §4.1 warns about.
+
+Since the serving PR, scoring delegates to
+:class:`repro.serve.InferenceEngine`: each unique user and item in a pair
+batch is encoded exactly once (and kept in the engine's caches across
+calls), so evaluation workloads — where one cold user appears in many
+pairs — pay for two extractor towers per *entity* instead of per *pair*.
+The eval protocol and the trainer's validation loop inherit the speedup
+unchanged.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .. import nn
 from ..data.records import Review
 from .trainer import TrainResult
 
@@ -24,54 +31,27 @@ class ColdStartPredictor:
     """Batch rating prediction over (user, item) pairs."""
 
     def __init__(self, result: TrainResult, batch_size: int = 256) -> None:
+        from ..serve import InferenceEngine  # local import: cycle guard
+
         self.model = result.model
         self.store = result.store
         self.aux_generator = result.aux_generator
         self.batch_size = batch_size
-        self._target_doc_cache: dict[str, np.ndarray] = {}
-        self._train_users = set(result.store.split.train_users)
+        self.engine = InferenceEngine(result, batch_size=batch_size)
 
     # ------------------------------------------------------------------
     def _target_doc(self, user_id: str) -> np.ndarray:
         """Target-extractor input for ``user_id`` (real, auxiliary, or fallback)."""
-        if user_id in self._target_doc_cache:
-            return self._target_doc_cache[user_id]
-        if user_id in self._train_users:
-            doc = self.store.user_target_doc(user_id)
-        elif self.model.config.use_auxiliary_reviews:
-            reviews = self.aux_generator.generate(user_id)
-            if reviews:
-                doc = self.store.encode_reviews(reviews)
-            else:  # no like-minded user found for any record: source fallback
-                doc = self.store.user_source_doc(user_id)
-        else:
-            doc = self.store.user_source_doc(user_id)
-        self._target_doc_cache[user_id] = doc
-        return doc
+        return self.engine.docs.target_doc(user_id)
 
     # ------------------------------------------------------------------
-    @nn.no_grad()
     def predict_pairs(self, pairs: list[tuple[str, str]]) -> np.ndarray:
         """Expected ratings for explicit ``(user_id, item_id)`` pairs.
 
-        Runs under :class:`repro.nn.no_grad`: inference never builds tape
-        nodes, so prediction allocates no backward closures.
+        Returned in the configured compute dtype (``config.dtype``). Runs
+        under ``repro.nn.no_grad``: inference never builds tape nodes.
         """
-        blend = self.model.config.cold_inference in ("blend", "dual")
-        predictions = np.empty(len(pairs))
-        for start in range(0, len(pairs), self.batch_size):
-            chunk = pairs[start : start + self.batch_size]
-            target_docs = np.stack([self._target_doc(u) for u, _ in chunk])
-            item_docs = np.stack([self.store.item_doc(i) for _, i in chunk])
-            source_docs = (
-                np.stack([self.store.user_source_doc(u) for u, _ in chunk])
-                if blend
-                else None
-            )
-            predictions[start : start + len(chunk)] = self.model.predict_ratings(
-                target_docs, item_docs, source_tokens=source_docs
-            )
-        return predictions
+        return self.engine.score_pairs(pairs)
 
     def predict_interactions(self, interactions: list[Review]) -> np.ndarray:
         """Expected ratings for held-out interactions (evaluation path)."""

@@ -11,6 +11,8 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+import numpy as np
+
 from .telemetry import DEFAULT_FILENAME, read_events
 
 __all__ = ["load_run_events", "summarize_run", "render_report"]
@@ -63,6 +65,22 @@ def summarize_run(events: list[dict]) -> dict:
         "checkpoints": 0,
         "workers": {},
         "tasks": {"ok": 0, "error": 0},
+        "serving": {
+            "score_calls": 0,
+            "pairs": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "hit_rate": 0.0,
+            "score_seconds": [],
+            "score_p50": 0.0,
+            "score_p95": 0.0,
+            "pairs_per_sec": 0.0,
+            "recommend_calls": 0,
+            "items_ranked": 0,
+            "items_per_sec": 0.0,
+            "index_items": 0,
+            "users_encoded": 0,
+        },
     }
     for event in events:
         kind = event.get("kind")
@@ -124,8 +142,36 @@ def summarize_run(events: list[dict]) -> dict:
         elif kind == "task":
             status = event.get("status", "ok")
             summary["tasks"][status] = summary["tasks"].get(status, 0) + 1
+        elif kind == "serve_score":
+            serving = summary["serving"]
+            serving["score_calls"] += 1
+            serving["pairs"] += event.get("pairs", 0)
+            serving["cache_hits"] += event.get("cache_hits", 0)
+            serving["cache_misses"] += event.get("cache_misses", 0)
+            serving["score_seconds"].append(float(event.get("seconds", 0.0)))
+        elif kind == "serve_recommend":
+            serving = summary["serving"]
+            serving["recommend_calls"] += 1
+            serving["items_ranked"] += event.get("catalog", 0)
+            serving["score_seconds"].append(float(event.get("seconds", 0.0)))
+        elif kind == "serve_index":
+            summary["serving"]["index_items"] += event.get("items", 0)
+        elif kind == "serve_encode_users":
+            summary["serving"]["users_encoded"] += event.get("users", 0)
     if summary["seconds"] > 0:
         summary["samples_per_sec"] = summary["samples"] / summary["seconds"]
+    serving = summary["serving"]
+    lookups = serving["cache_hits"] + serving["cache_misses"]
+    if lookups:
+        serving["hit_rate"] = serving["cache_hits"] / lookups
+    if serving["score_seconds"]:
+        latencies = np.asarray(serving["score_seconds"], dtype=np.float64)
+        serving["score_p50"] = float(np.percentile(latencies, 50))
+        serving["score_p95"] = float(np.percentile(latencies, 95))
+        total_seconds = float(latencies.sum())
+        if total_seconds > 0:
+            serving["pairs_per_sec"] = serving["pairs"] / total_seconds
+            serving["items_per_sec"] = serving["items_ranked"] / total_seconds
     return summary
 
 
@@ -210,6 +256,33 @@ def render_report(events: list[dict]) -> str:
                 f"tasks {stats['tasks_done']}  "
                 f"utilization {100.0 * stats['utilization']:.1f}%"
             )
+
+    serving = summary["serving"]
+    if serving["score_calls"] or serving["recommend_calls"]:
+        lines.append("")
+        lookups = serving["cache_hits"] + serving["cache_misses"]
+        lines.append(
+            f"serving engine ({serving['score_calls']} score calls, "
+            f"{serving['recommend_calls']} recommend calls)"
+        )
+        lines.append(
+            f"  pairs scored {serving['pairs']}  "
+            f"cache hits {serving['cache_hits']}/{lookups} "
+            f"({100.0 * serving['hit_rate']:.1f}%)"
+        )
+        lines.append(
+            f"  latency p50 {serving['score_p50'] * 1000.0:.1f}ms  "
+            f"p95 {serving['score_p95'] * 1000.0:.1f}ms  "
+            f"throughput {serving['pairs_per_sec']:.0f} pairs/s"
+        )
+        if serving["recommend_calls"]:
+            lines.append(
+                f"  catalog ranking: {serving['items_ranked']} items "
+                f"({serving['items_per_sec']:.0f} items/s)  "
+                f"index encodes {serving['index_items']}"
+            )
+        if serving["users_encoded"]:
+            lines.append(f"  users pre-encoded: {serving['users_encoded']}")
 
     if summary["checkpoints"]:
         lines.append("")

@@ -57,6 +57,11 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     "worker_end": ("worker", "busy_seconds", "idle_seconds", "tasks_done"),
     "task": ("task", "worker", "method", "scenario", "status", "seconds"),
     "merge": ("shards", "events"),
+    # Serving engine (repro.serve.engine)
+    "serve_index": ("items", "catalog", "seconds"),
+    "serve_encode_users": ("users", "seconds"),
+    "serve_score": ("pairs", "seconds", "cache_hits", "cache_misses"),
+    "serve_recommend": ("user", "k", "catalog", "seconds"),
 }
 
 _BASE_FIELDS = ("seq", "ts", "run", "kind")

@@ -1,0 +1,33 @@
+"""``repro.serve`` — the high-throughput inference engine.
+
+Encode-once serving for OmniMatch: an :class:`ItemIndex` holding the
+catalog's item-representation matrix, a bounded :class:`UserReprCache` of
+per-user rating-head inputs, and an :class:`InferenceEngine` that scores
+(user, item) pairs from the caches and ranks the full catalog with exact
+top-K. Predictions are bit-identical to the naive re-encoding path
+(:func:`naive_score_pairs`) — see ``repro.serve.blocking`` for the
+fixed-block encoding invariant that makes the guarantee hold.
+
+``repro.core.ColdStartPredictor`` delegates here, so the evaluation
+protocol and every caller of ``predict_pairs`` get the cached fast path
+without code changes.
+"""
+
+from .blocking import DEFAULT_BLOCK, encode_blocked, inference_mode
+from .engine import ColdStartDocuments, InferenceEngine, Recommendation
+from .item_index import ItemIndex
+from .reference import naive_score_pairs
+from .user_cache import DEFAULT_CAPACITY, UserReprCache
+
+__all__ = [
+    "DEFAULT_BLOCK",
+    "DEFAULT_CAPACITY",
+    "encode_blocked",
+    "inference_mode",
+    "ColdStartDocuments",
+    "InferenceEngine",
+    "Recommendation",
+    "ItemIndex",
+    "UserReprCache",
+    "naive_score_pairs",
+]

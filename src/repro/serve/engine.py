@@ -1,0 +1,323 @@
+"""The high-throughput inference engine: encode once, score from caches.
+
+``OmniMatchModel`` factors cleanly at serving time (Eq. 18): a per-user
+``(invariant, user_repr)`` pair, a per-item representation, and a tiny
+rating MLP joining them. The legacy ``ColdStartPredictor`` re-ran both CNN
+extractor towers over full token documents for every (user, item) pair;
+the :class:`InferenceEngine` runs each tower once per *entity* instead —
+items into an :class:`~repro.serve.item_index.ItemIndex`, users into a
+bounded :class:`~repro.serve.user_cache.UserReprCache` — so steady-state
+pair scoring is a single batched rating-head MLP over cached vectors.
+
+Bit-identity contract: every encode goes through the canonical blocked
+encoder (``repro.serve.blocking``), so engine predictions match the
+re-encoding reference path (``repro.serve.reference``) bit for bit, and
+``recommend`` scores match ``score_pairs`` over the same catalog exactly.
+
+Observability: the engine keeps cache hit/miss/eviction counters and
+per-stage latency histograms in a :class:`~repro.obs.MetricsRegistry`, and
+emits ``serve_*`` telemetry events (rendered by ``repro report``) to an
+explicit sink or the ambient one installed via ``repro.obs.use_sink``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..core.model import RATING_VALUES
+from ..nn import functional as F
+from ..obs import MetricsRegistry, get_active_sink
+from .blocking import DEFAULT_BLOCK, encode_blocked, inference_mode
+from .item_index import ItemIndex
+from .user_cache import DEFAULT_CAPACITY, UserReprCache
+
+__all__ = ["ColdStartDocuments", "InferenceEngine", "Recommendation"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One ranked catalog entry from :meth:`InferenceEngine.recommend`."""
+
+    item_id: str
+    score: float
+
+
+class ColdStartDocuments:
+    """Target-document policy shared by the engine and the reference path.
+
+    A training user keeps their real target document; a cold-start user
+    gets the auxiliary document (Algorithm 1), falling back to their source
+    document when no like-minded neighbor exists or when the
+    ``use_auxiliary_reviews`` ablation is off (§4.1's suboptimal strategy).
+    """
+
+    def __init__(self, result) -> None:
+        self.store = result.store
+        self.aux_generator = result.aux_generator
+        self.use_aux = result.model.config.use_auxiliary_reviews
+        self._train_users = set(result.store.split.train_users)
+        self._cache: dict[str, np.ndarray] = {}
+
+    def target_doc(self, user_id: str) -> np.ndarray:
+        """Target-extractor input for ``user_id`` (real, auxiliary, fallback)."""
+        if user_id in self._cache:
+            return self._cache[user_id]
+        if user_id in self._train_users:
+            doc = self.store.user_target_doc(user_id)
+        elif self.use_aux:
+            reviews = self.aux_generator.generate(user_id)
+            if reviews:
+                doc = self.store.encode_reviews(reviews)
+            else:  # no like-minded user found for any record: source fallback
+                doc = self.store.user_source_doc(user_id)
+        else:
+            doc = self.store.user_source_doc(user_id)
+        self._cache[user_id] = doc
+        return doc
+
+    def source_doc(self, user_id: str) -> np.ndarray:
+        """Source-extractor input (exists for every user)."""
+        return self.store.user_source_doc(user_id)
+
+
+class InferenceEngine:
+    """Encode-once pair scoring and full-catalog top-K recommendation."""
+
+    def __init__(
+        self,
+        result,
+        *,
+        batch_size: int = DEFAULT_BLOCK,
+        cache_capacity: int = DEFAULT_CAPACITY,
+        catalog: Sequence[str] | None = None,
+        telemetry=None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        result:
+            A :class:`repro.core.TrainResult` (model + store + generator).
+        batch_size:
+            Rows per encode block *and* per rating-head chunk. All paths
+            that must agree bitwise have to share this value.
+        cache_capacity:
+            Maximum resident users in the representation LRU.
+        catalog:
+            Item universe for ``recommend`` (default: every target-domain
+            item). Items outside it can still be scored pairwise.
+        telemetry:
+            Optional :class:`repro.obs.TelemetrySink`; when omitted, events
+            go to the ambient sink if one is installed.
+        """
+        self.model = result.model
+        self.store = result.store
+        self.aux_generator = result.aux_generator
+        self.batch_size = batch_size
+        self.out_dtype = np.dtype(self.model.config.dtype)
+        self.blend = self.model.config.cold_inference in ("blend", "dual")
+        self.telemetry = telemetry
+        self.metrics = MetricsRegistry()
+        self.docs = ColdStartDocuments(result)
+        self.items = ItemIndex(
+            self.model, self.store, catalog=catalog,
+            block=batch_size, metrics=self.metrics,
+        )
+        self.users = UserReprCache(
+            self._encode_users, capacity=cache_capacity, metrics=self.metrics
+        )
+
+    # ------------------------------------------------------------------
+    # Telemetry plumbing
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, **fields) -> None:
+        sink = self.telemetry if self.telemetry is not None else get_active_sink()
+        if sink is not None:
+            sink.emit(kind, **fields)
+
+    def _cache_counters(self) -> tuple[int, int]:
+        return self.users.hits, self.users.misses
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def _encode_users(self, user_ids: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked rating-head inputs for ``user_ids`` (one blocked pass per
+        extractor tower, then the mode-specific combination of Eq. 18)."""
+        start = time.perf_counter()
+        target_docs = np.stack([self.docs.target_doc(u) for u in user_ids])
+        with inference_mode(self.model):
+            target_inv, target_spec = encode_blocked(
+                lambda chunk: tuple(
+                    t.data for t in self.model.user_extractor.extract_target(chunk)
+                ),
+                target_docs,
+                self.batch_size,
+            )
+            source_inv = None
+            if self.blend:
+                source_docs = np.stack([self.docs.source_doc(u) for u in user_ids])
+                source_inv, _ = encode_blocked(
+                    lambda chunk: tuple(
+                        t.data
+                        for t in self.model.user_extractor.extract_source(chunk)
+                    ),
+                    source_docs,
+                    self.batch_size,
+                )
+            # _rating_inputs is purely elementwise + concat, so its per-row
+            # results do not depend on the batch's row count — safe to run
+            # on the whole miss batch at once.
+            invariant, user_repr = self.model._rating_inputs(
+                nn.Tensor(source_inv) if source_inv is not None else None,
+                nn.Tensor(target_inv),
+                nn.Tensor(target_spec),
+            )
+            invariant, user_repr = invariant.data, user_repr.data
+        self.metrics.inc("serve.users_encoded", len(user_ids))
+        self.metrics.observe(
+            "serve.encode_users_seconds", time.perf_counter() - start
+        )
+        return invariant, user_repr
+
+    def warm(self, user_ids: Iterable[str]) -> int:
+        """Pre-encode a user cohort; returns how many were newly encoded."""
+        start = time.perf_counter()
+        encoded = self.users.warm(user_ids)
+        self._emit(
+            "serve_encode_users",
+            users=encoded, seconds=time.perf_counter() - start,
+        )
+        return encoded
+
+    def build_index(self) -> int:
+        """Push the whole catalog through the item extractor (idempotent);
+        returns the number of items encoded by this call."""
+        before = self.items.encoded_count
+        start = time.perf_counter()
+        self.items.build()
+        encoded = self.items.encoded_count - before
+        if encoded:
+            self._emit(
+                "serve_index",
+                items=encoded, catalog=len(self.items),
+                seconds=time.perf_counter() - start,
+            )
+        return encoded
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def _score_rows(
+        self,
+        invariant: np.ndarray,
+        user_repr: np.ndarray,
+        item_rows: np.ndarray,
+    ) -> np.ndarray:
+        """Expected ratings for aligned representation rows (Eq. 18 head).
+
+        The head GEMM is as ``m``-dependent as the extractor GEMMs, so it
+        runs through the same padded-block primitive: scores never depend
+        on how a request was chunked or how many pairs shared the call.
+        """
+        features = np.concatenate(
+            [user_repr, item_rows, invariant * item_rows], axis=1
+        )
+
+        def head(chunk: np.ndarray) -> np.ndarray:
+            logits = self.model.rating_classifier(nn.Tensor(chunk))
+            return F.softmax(logits, axis=-1).data @ RATING_VALUES
+
+        with inference_mode(self.model):
+            return encode_blocked(head, features, self.batch_size)
+
+    def score_pairs(self, pairs: Sequence[tuple[str, str]]) -> np.ndarray:
+        """Expected ratings for explicit ``(user_id, item_id)`` pairs.
+
+        Bit-identical to the re-encoding reference path
+        (:func:`repro.serve.reference.naive_score_pairs`) at the same
+        ``batch_size``; each unique user/item is encoded at most once
+        across the engine's lifetime (modulo LRU eviction).
+        """
+        pairs = list(pairs)
+        start = time.perf_counter()
+        hits_before, misses_before = self._cache_counters()
+        out = np.empty(len(pairs), dtype=self.out_dtype)
+        for chunk_start in range(0, len(pairs), self.batch_size):
+            chunk = pairs[chunk_start : chunk_start + self.batch_size]
+            invariant, user_repr = self.users.get_many([u for u, _ in chunk])
+            item_rows = self.items.rows([i for _, i in chunk])
+            out[chunk_start : chunk_start + len(chunk)] = self._score_rows(
+                invariant, user_repr, item_rows
+            )
+        seconds = time.perf_counter() - start
+        hits_after, misses_after = self._cache_counters()
+        self.metrics.inc("serve.pairs_scored", len(pairs))
+        self.metrics.observe("serve.score_seconds", seconds)
+        if seconds > 0:
+            self.metrics.observe("serve.pairs_per_sec", len(pairs) / seconds)
+        self._emit(
+            "serve_score",
+            pairs=len(pairs), seconds=seconds,
+            cache_hits=hits_after - hits_before,
+            cache_misses=misses_after - misses_before,
+        )
+        return out
+
+    def recommend(
+        self,
+        user_id: str,
+        k: int = 10,
+        exclude_items: Iterable[str] | None = None,
+    ) -> list[Recommendation]:
+        """Exact top-``k`` of full-catalog scoring for one user.
+
+        Scores every catalog item via blocked rating-head GEMMs over the
+        item matrix (bit-identical to ``score_pairs`` on the same pairs),
+        then takes the top-``k`` with ``argpartition`` + an exact ordering
+        pass; ties break toward the lower catalog slot. ``exclude_items``
+        removes already-seen items from the ranking.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        start = time.perf_counter()
+        self.build_index()
+        catalog_size = len(self.items)
+        if catalog_size == 0:
+            return []
+        reprs = self.items.reprs
+        invariant, user_repr = self.users.get_many([user_id])
+        scores = np.empty(catalog_size, dtype=self.out_dtype)
+        for block_start in range(0, catalog_size, self.batch_size):
+            rows = reprs[block_start : block_start + self.batch_size]
+            scores[block_start : block_start + len(rows)] = self._score_rows(
+                np.repeat(invariant, len(rows), axis=0),
+                np.repeat(user_repr, len(rows), axis=0),
+                rows,
+            )
+        if exclude_items:
+            for item_id in exclude_items:
+                slot = self.items.slots.get(item_id)
+                if slot is not None:
+                    scores[slot] = -np.inf
+        ranked = min(k, int(np.isfinite(scores).sum()))
+        if ranked == 0:
+            return []
+        top = np.argpartition(-scores, ranked - 1)[:ranked]
+        top = top[np.lexsort((top, -scores[top]))]
+        seconds = time.perf_counter() - start
+        self.metrics.observe("serve.recommend_seconds", seconds)
+        if seconds > 0:
+            self.metrics.observe("serve.items_per_sec", catalog_size / seconds)
+        self._emit(
+            "serve_recommend",
+            user=user_id, k=k, catalog=catalog_size, seconds=seconds,
+        )
+        return [
+            Recommendation(self.items.item_ids[slot], float(scores[slot]))
+            for slot in top
+        ]

@@ -1,0 +1,146 @@
+"""Item-representation index: the catalog side of the serving engine.
+
+The OmniMatch rating head (Eq. 18) consumes items only through
+``item_extractor(item_doc)`` — a per-item vector that never depends on the
+user. The :class:`ItemIndex` therefore encodes each item exactly once and
+holds the results in one contiguous ``(n_items, d)`` matrix, laid out so
+the head's ``invariant * item_repr`` operand is a single broadcast multiply
+against a slot-ordered row block (no per-pair gathers needed on the
+full-catalog ranking path).
+
+Encoding is lazy and blocked: ``rows(ids)`` materializes only the slots a
+pair batch touches (what the eval protocol needs), while ``build()`` pushes
+the whole catalog through the extractor in canonical blocks (what
+``recommend`` needs). Either route produces bit-identical rows — see
+``repro.serve.blocking`` for the invariant that makes this true.
+
+Items outside the catalog (no visible target-domain reviews) are encoded
+into an overflow side table from their all-padding documents, matching the
+legacy predictor's behaviour of scoring any item id it is handed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..obs import MetricsRegistry
+from .blocking import DEFAULT_BLOCK, encode_blocked, inference_mode
+
+__all__ = ["ItemIndex"]
+
+
+class ItemIndex:
+    """Encode-once item representations over a fixed catalog."""
+
+    def __init__(
+        self,
+        model,
+        store,
+        catalog: Sequence[str] | None = None,
+        block: int = DEFAULT_BLOCK,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.model = model
+        self.store = store
+        self.block = block
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.item_ids = (
+            list(catalog)
+            if catalog is not None
+            else sorted(store.dataset.target.items)
+        )
+        self.slots = {item_id: slot for slot, item_id in enumerate(self.item_ids)}
+        self._reprs: np.ndarray | None = None
+        self._valid = np.zeros(len(self.item_ids), dtype=bool)
+        self._overflow: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.item_ids)
+
+    def __contains__(self, item_id: str) -> bool:
+        return item_id in self.slots
+
+    @property
+    def encoded_count(self) -> int:
+        """Catalog slots encoded so far (overflow items not counted)."""
+        return int(self._valid.sum())
+
+    # ------------------------------------------------------------------
+    def _encode_docs(self, docs: np.ndarray) -> np.ndarray:
+        with inference_mode(self.model):
+            return encode_blocked(
+                lambda chunk: self.model.item_extractor(chunk).data,
+                docs,
+                self.block,
+            )
+
+    def _encode_slots(self, slots: np.ndarray) -> None:
+        docs = np.stack([self.store.item_doc(self.item_ids[s]) for s in slots])
+        reprs = self._encode_docs(docs)
+        if self._reprs is None:
+            self._reprs = np.zeros(
+                (len(self.item_ids), reprs.shape[1]), dtype=reprs.dtype
+            )
+        self._reprs[slots] = reprs
+        self._valid[slots] = True
+        self.metrics.inc("serve.items_encoded", len(slots))
+
+    def ensure(self, item_ids: Iterable[str]) -> None:
+        """Encode any of ``item_ids`` not yet materialized (blocked, in slot
+        order); unknown ids go to the overflow table."""
+        item_ids = list(item_ids)
+        missing = sorted(
+            {
+                self.slots[i]
+                for i in item_ids
+                if i in self.slots and not self._valid[self.slots[i]]
+            }
+        )
+        if missing:
+            self._encode_slots(np.array(missing, dtype=np.intp))
+        extra = sorted(
+            {i for i in item_ids if i not in self.slots and i not in self._overflow}
+        )
+        if extra:
+            docs = np.stack([self.store.item_doc(i) for i in extra])
+            reprs = self._encode_docs(docs)
+            for item_id, row in zip(extra, reprs):
+                self._overflow[item_id] = row
+            self.metrics.inc("serve.items_encoded", len(extra))
+
+    def build(self) -> np.ndarray:
+        """Materialize the full catalog matrix (encode-once; idempotent)."""
+        missing = np.flatnonzero(~self._valid)
+        if len(missing):
+            start = time.perf_counter()
+            self._encode_slots(missing)
+            self.metrics.observe(
+                "serve.index_build_seconds", time.perf_counter() - start
+            )
+        return self.reprs
+
+    @property
+    def reprs(self) -> np.ndarray:
+        """The ``(n_items, d)`` representation matrix (builds it if needed)."""
+        if not self._valid.all() or self._reprs is None:
+            return self.build()
+        return self._reprs
+
+    def rows(self, item_ids: Sequence[str]) -> np.ndarray:
+        """Representation rows for ``item_ids`` (encoding misses first)."""
+        self.ensure(item_ids)
+        reference = (
+            self._reprs if self._reprs is not None
+            else next(iter(self._overflow.values()))
+        )
+        out = np.empty((len(item_ids), reference.shape[-1]), reference.dtype)
+        for position, item_id in enumerate(item_ids):
+            slot = self.slots.get(item_id)
+            out[position] = (
+                self._overflow[item_id] if slot is None else self._reprs[slot]
+            )
+        return out

@@ -116,6 +116,44 @@ class TestSerializationDtype:
             assert param.data.dtype == np.float32
 
 
+class TestPredictorOutputDtype:
+    """Regression: predict_pairs once allocated its output float64 no matter
+    what dtype the model computed in — predictions silently up-cast."""
+
+    @pytest.fixture(scope="class")
+    def tiny_world(self):
+        from repro.data import (
+            GeneratorConfig,
+            cold_start_split,
+            generate_domain_pair,
+        )
+
+        dataset = generate_domain_pair(
+            "books",
+            "movies",
+            GeneratorConfig(num_users=40, num_items_per_domain=15,
+                            reviews_per_user_mean=4.0, seed=11),
+        )
+        return dataset, cold_start_split(dataset, seed=5)
+
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    def test_predict_pairs_returns_configured_dtype(self, tiny_world, dtype):
+        from repro.core import ColdStartPredictor, OmniMatchConfig, OmniMatchTrainer
+
+        dataset, split = tiny_world
+        config = OmniMatchConfig(
+            embed_dim=8, num_filters=3, kernel_sizes=(2,), invariant_dim=4,
+            specific_dim=4, projection_dim=4, doc_len=16, vocab_size=200,
+            epochs=1, batch_size=16, early_stopping=False, dtype=dtype,
+        )
+        result = OmniMatchTrainer(dataset, split, config).fit()
+        predictor = ColdStartPredictor(result, batch_size=16)
+        test = split.eval_interactions(dataset, "test")
+        pairs = [(r.user_id, r.item_id) for r in test[:4]]
+        assert predictor.predict_pairs(pairs).dtype == np.dtype(dtype)
+        assert predictor.predict_pairs([]).dtype == np.dtype(dtype)
+
+
 class TestFastMathToggle:
     def test_set_returns_previous(self):
         previous = nn.set_fast_math(False)

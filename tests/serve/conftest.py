@@ -1,0 +1,33 @@
+"""Shared fixtures for the serving-engine suite: one small trained world."""
+
+import pytest
+
+from repro.core import OmniMatchTrainer
+from repro.data import GeneratorConfig, cold_start_split, generate_domain_pair
+
+from .helpers import tiny_config
+
+
+@pytest.fixture(scope="package")
+def world():
+    dataset = generate_domain_pair(
+        "books",
+        "movies",
+        GeneratorConfig(num_users=90, num_items_per_domain=40,
+                        reviews_per_user_mean=5.0, seed=21),
+    )
+    split = cold_start_split(dataset, seed=3)
+    return dataset, split
+
+
+@pytest.fixture(scope="package")
+def trained(world):
+    dataset, split = world
+    return OmniMatchTrainer(dataset, split, tiny_config()).fit()
+
+
+@pytest.fixture()
+def test_pairs(world):
+    dataset, split = world
+    test = split.eval_interactions(dataset, "test")
+    return [(r.user_id, r.item_id) for r in test]

@@ -1,0 +1,11 @@
+"""Shared helpers for the serving-engine suite."""
+
+from repro.core import OmniMatchConfig
+
+
+def tiny_config(**overrides):
+    base = dict(embed_dim=16, num_filters=4, kernel_sizes=(2, 3), invariant_dim=8,
+                specific_dim=8, projection_dim=6, doc_len=24, dropout=0.1,
+                vocab_size=300, epochs=2, batch_size=32, early_stopping=False)
+    base.update(overrides)
+    return OmniMatchConfig(**base)

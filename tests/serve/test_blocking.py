@@ -1,0 +1,77 @@
+"""The canonical-block encoding invariant the whole engine stands on."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.serve import encode_blocked, inference_mode
+
+
+class TestEncodeBlocked:
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="at least one row"):
+            encode_blocked(lambda c: c, np.zeros((0, 4), dtype=np.int32))
+
+    def test_bad_block_rejected(self):
+        with pytest.raises(ValueError, match="block"):
+            encode_blocked(lambda c: c, np.zeros((2, 4), dtype=np.int32), block=0)
+
+    def test_single_output_shape_and_order(self):
+        rows = np.arange(28, dtype=np.int32).reshape(7, 4)
+        seen = []
+
+        def encode(chunk):
+            seen.append(len(chunk))
+            return chunk.astype(np.float32) * 2.0
+
+        out = encode_blocked(encode, rows, block=3)
+        assert seen == [3, 3, 3]  # final partial block padded to 3
+        np.testing.assert_array_equal(out, rows.astype(np.float32) * 2.0)
+
+    def test_tuple_outputs_stacked(self):
+        rows = np.ones((5, 4), dtype=np.int32)
+        out = encode_blocked(
+            lambda c: (c.astype(np.float64), c.sum(axis=1, keepdims=True)),
+            rows,
+            block=2,
+        )
+        assert isinstance(out, tuple) and len(out) == 2
+        assert out[0].shape == (5, 4)
+        assert out[1].shape == (5, 1)
+
+    def test_per_row_results_independent_of_co_resident_rows(self, trained):
+        """The measured BLAS property: with the block row-count fixed, a
+        document's representation does not depend on what else shares the
+        block — the bit-identity contract of the serving caches."""
+        model, store = trained.model, trained.store
+        items = sorted(store.dataset.target.items)
+        docs = np.stack([store.item_doc(i) for i in items])
+        encode = lambda chunk: model.item_extractor(chunk).data
+        with inference_mode(model):
+            all_at_once = encode_blocked(encode, docs, block=8)
+            reversed_order = encode_blocked(encode, docs[::-1], block=8)[::-1]
+            one_by_one = np.concatenate(
+                [encode_blocked(encode, docs[i : i + 1], block=8)
+                 for i in range(len(docs))]
+            )
+        np.testing.assert_array_equal(all_at_once, reversed_order)
+        np.testing.assert_array_equal(all_at_once, one_by_one)
+
+
+class TestInferenceMode:
+    def test_restores_training_flag(self, trained):
+        model = trained.model
+        model.train(True)
+        with inference_mode(model):
+            assert not model.training
+            assert not nn.is_grad_enabled()
+        assert model.training
+        assert nn.is_grad_enabled()
+
+    def test_restores_eval_state_too(self, trained):
+        model = trained.model
+        model.eval()
+        with inference_mode(model):
+            assert not model.training
+        assert not model.training
+        model.train(True)

@@ -1,0 +1,109 @@
+"""Serving telemetry: serve_* events, schema validation, report rendering."""
+
+from repro.obs import (
+    TelemetrySink,
+    load_run_events,
+    render_report,
+    summarize_run,
+    use_sink,
+    validate_run_file,
+)
+from repro.serve import InferenceEngine
+
+
+def exercise_engine(engine, world, test_pairs):
+    dataset, split = world
+    engine.warm(split.test_users[:3])
+    engine.score_pairs(test_pairs)
+    engine.score_pairs(test_pairs)  # second pass: pure cache hits
+    engine.recommend(split.test_users[0], k=3)
+
+
+class TestEventEmission:
+    def test_explicit_sink_receives_serve_events(
+        self, trained, world, test_pairs, tmp_path
+    ):
+        with TelemetrySink(tmp_path, run_id="serve-x") as sink:
+            engine = InferenceEngine(trained, batch_size=32, telemetry=sink)
+            exercise_engine(engine, world, test_pairs)
+        kinds = [e["kind"] for e in load_run_events(tmp_path)]
+        assert kinds.count("serve_encode_users") == 1
+        assert kinds.count("serve_score") == 2
+        assert kinds.count("serve_recommend") == 1
+        assert kinds.count("serve_index") == 1  # catalog built once
+
+    def test_ambient_sink_used_when_no_explicit_one(
+        self, trained, test_pairs, tmp_path
+    ):
+        with TelemetrySink(tmp_path, run_id="serve-ambient") as sink:
+            with use_sink(sink):
+                InferenceEngine(trained, batch_size=32).score_pairs(
+                    test_pairs[:4]
+                )
+        kinds = [e["kind"] for e in load_run_events(tmp_path)]
+        assert "serve_score" in kinds
+
+    def test_no_sink_is_silent(self, trained, test_pairs):
+        engine = InferenceEngine(trained, batch_size=32)
+        engine.score_pairs(test_pairs[:4])  # must not raise
+
+    def test_events_validate_against_schema(
+        self, trained, world, test_pairs, tmp_path
+    ):
+        with TelemetrySink(tmp_path, run_id="serve-schema") as sink:
+            engine = InferenceEngine(trained, batch_size=32, telemetry=sink)
+            exercise_engine(engine, world, test_pairs)
+        stats = validate_run_file(tmp_path / "run.jsonl")
+        assert stats["events"] >= 5
+        assert stats["kinds"]["serve_score"] == 2
+
+    def test_score_event_reports_call_local_cache_deltas(
+        self, trained, test_pairs, tmp_path
+    ):
+        with TelemetrySink(tmp_path, run_id="serve-deltas") as sink:
+            engine = InferenceEngine(trained, batch_size=32, telemetry=sink)
+            engine.score_pairs(test_pairs)
+            engine.score_pairs(test_pairs)
+        first, second = [
+            e for e in load_run_events(tmp_path) if e["kind"] == "serve_score"
+        ]
+        unique_users = len({u for u, _ in test_pairs})
+        assert first["cache_misses"] == unique_users
+        assert second["cache_misses"] == 0
+        assert second["cache_hits"] == len(test_pairs)
+
+
+class TestReport:
+    def test_summarize_run_aggregates_serving(
+        self, trained, world, test_pairs, tmp_path
+    ):
+        with TelemetrySink(tmp_path, run_id="serve-summary") as sink:
+            engine = InferenceEngine(trained, batch_size=32, telemetry=sink)
+            exercise_engine(engine, world, test_pairs)
+        serving = summarize_run(load_run_events(tmp_path))["serving"]
+        assert serving["score_calls"] == 2
+        assert serving["pairs"] == 2 * len(test_pairs)
+        assert serving["recommend_calls"] == 1
+        assert serving["index_items"] > 0
+        assert 0.0 < serving["hit_rate"] <= 1.0
+        assert serving["score_p95"] >= serving["score_p50"] > 0.0
+
+    def test_render_report_has_serving_section(
+        self, trained, world, test_pairs, tmp_path
+    ):
+        with TelemetrySink(tmp_path, run_id="serve-render") as sink:
+            engine = InferenceEngine(trained, batch_size=32, telemetry=sink)
+            exercise_engine(engine, world, test_pairs)
+        text = render_report(load_run_events(tmp_path))
+        assert "serving engine" in text
+        assert "cache hits" in text
+        assert "pairs scored" in text
+
+    def test_report_without_serve_events_omits_section(self, tmp_path):
+        with TelemetrySink(tmp_path, run_id="no-serve") as sink:
+            sink.emit(
+                "experiment",
+                method="omnimatch", scenario="s", rmse=1.0, mae=0.8, trials=1,
+            )
+        text = render_report(load_run_events(tmp_path))
+        assert "serving engine" not in text

@@ -1,0 +1,102 @@
+"""UserReprCache: LRU accounting, eviction determinism, warm pre-encoding."""
+
+import numpy as np
+import pytest
+
+from repro.serve import UserReprCache
+
+
+def deterministic_encoder(calls=None):
+    """Maps a user id to fixed vectors derived from its hash — stand-in for
+    the engine's blocked encoder (deterministic per user by construction)."""
+
+    def encode(user_ids):
+        if calls is not None:
+            calls.append(list(user_ids))
+        seeds = [abs(hash(u)) % 1000 for u in user_ids]
+        invariant = np.array([[s, s + 1.0] for s in seeds])
+        user_repr = np.array([[s, s + 1.0, s + 2.0] for s in seeds])
+        return invariant, user_repr
+
+    return encode
+
+
+class TestLookup:
+    def test_rows_aligned_with_duplicates(self):
+        cache = UserReprCache(deterministic_encoder(), capacity=8)
+        invariant, user_repr = cache.get_many(["a", "b", "a"])
+        assert invariant.shape == (3, 2)
+        assert user_repr.shape == (3, 3)
+        np.testing.assert_array_equal(invariant[0], invariant[2])
+
+    def test_misses_per_unique_user_hits_for_the_rest(self):
+        cache = UserReprCache(deterministic_encoder(), capacity=8)
+        cache.get_many(["a", "b", "a", "a"])
+        assert cache.misses == 2  # a, b encoded once each
+        assert cache.hits == 2  # the two repeated 'a' occurrences
+        cache.get_many(["a", "b"])
+        assert cache.misses == 2
+        assert cache.hits == 4
+        assert cache.hit_rate == pytest.approx(4 / 6)
+
+    def test_misses_encoded_in_one_batch(self):
+        calls = []
+        cache = UserReprCache(deterministic_encoder(calls), capacity=8)
+        cache.get_many(["a", "b", "c", "a"])
+        assert calls == [["a", "b", "c"]]
+
+
+class TestEviction:
+    def test_lru_evicts_least_recently_used(self):
+        cache = UserReprCache(deterministic_encoder(), capacity=2)
+        cache.get_many(["a"])
+        cache.get_many(["b"])
+        cache.get_many(["a"])  # touch a: b is now LRU
+        cache.get_many(["c"])  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_reencode_after_eviction_is_bit_identical(self):
+        cache = UserReprCache(deterministic_encoder(), capacity=1)
+        first_inv, first_repr = cache.get_many(["a"])
+        cache.get_many(["b"])  # evicts a
+        again_inv, again_repr = cache.get_many(["a"])
+        np.testing.assert_array_equal(first_inv, again_inv)
+        np.testing.assert_array_equal(first_repr, again_repr)
+
+    def test_request_wider_than_capacity_still_served(self):
+        cache = UserReprCache(deterministic_encoder(), capacity=2)
+        invariant, _ = cache.get_many(["a", "b", "c", "d", "a"])
+        assert invariant.shape == (5, 2)
+        np.testing.assert_array_equal(invariant[0], invariant[4])
+        assert len(cache) == 2  # only the tail survives residency
+
+    def test_explicit_evict_and_clear(self):
+        cache = UserReprCache(deterministic_encoder(), capacity=4)
+        cache.get_many(["a", "b"])
+        assert cache.evict("a") is True
+        assert cache.evict("a") is False
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestWarm:
+    def test_warm_counts_neither_hits_nor_misses(self):
+        cache = UserReprCache(deterministic_encoder(), capacity=8)
+        assert cache.warm(["a", "b", "a"]) == 2
+        assert cache.hits == 0 and cache.misses == 0
+        cache.get_many(["a", "b"])
+        assert cache.hits == 2 and cache.misses == 0
+
+    def test_warm_skips_resident_users(self):
+        calls = []
+        cache = UserReprCache(deterministic_encoder(calls), capacity=8)
+        cache.warm(["a", "b"])
+        assert cache.warm(["a", "b", "c"]) == 1
+        assert calls == [["a", "b"], ["c"]]
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            UserReprCache(deterministic_encoder(), capacity=0)

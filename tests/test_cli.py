@@ -76,6 +76,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "--method", "SVD++"])
 
+    def test_recommend_parses(self):
+        args = build_parser().parse_args([
+            "recommend", "--user", "U0007", "--k", "5",
+            "--epochs", "2", "--telemetry", "/tmp/serve",
+        ])
+        assert args.command == "recommend"
+        assert args.user == "U0007"
+        assert args.k == 5
+        assert args.epochs == 2
+        assert args.telemetry == "/tmp/serve"
+
+    def test_recommend_defaults(self):
+        args = build_parser().parse_args(["recommend"])
+        assert args.user is None
+        assert args.k == 10
+        assert args.epochs == 8
+        assert args.telemetry is None
+
     def test_bench_parses(self):
         args = build_parser().parse_args([
             "bench", "--methods", "item-mean,CMF",
@@ -141,6 +159,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "method=item-mean" in out
         assert "RMSE=" in out and "wall_s=" in out
+        assert (telemetry / "run.jsonl").exists()
+
+    def test_recommend_ranks_catalog(self, tmp_path, capsys):
+        telemetry = tmp_path / "serve-obs"
+        assert main([
+            "recommend", "--epochs", "1", "--k", "3",
+            "--telemetry", str(telemetry),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "top-3 of" in out
+        assert "expected rating" in out
+        assert "cache:" in out
         assert (telemetry / "run.jsonl").exists()
 
     def test_bench_prints_table(self, capsys):
