@@ -1,0 +1,221 @@
+"""ANN retrieval benchmark: IVF probe + exact re-rank vs the exact oracle.
+
+The serving engine's exact ``recommend`` pushes every catalog item through
+the rating head per query — linear in the catalog, hopeless at millions of
+items. This benchmark scales the *catalog* (not the training corpus: items
+are appended after training via ``scale_target_catalog``, the production
+pattern the retriever exists for) and measures the IVF path against the
+exact oracle on identical queries:
+
+* **recall@10** — fraction of the oracle's top-10 the IVF shortlist
+  retains, averaged over cold users, at the smallest ``nprobe`` from a
+  small sweep that clears the quality gate;
+* **speedup** — median per-query latency ratio, exact / IVF;
+* **memory** — float32 vs int8 routing-store bytes;
+* **exactness** — ``nprobe = nlist`` must reproduce the exact ranking bit
+  for bit (both stores), asserted at every scale before timings matter.
+
+Full-scale gates: recall@10 >= 0.95 at >= 20x item throughput on a 100k
+catalog, int8 store >= 3.5x smaller than float32. At ``REPRO_BENCH_FAST=1``
+the catalog shrinks to 3k items and only the recall gate and the exactness
+contract are asserted (latency ratios are noise at that size). The report
+is printed and written to ``BENCH_ann.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import OmniMatchTrainer
+from repro.data import cold_start_split, generate_scenario, scale_target_catalog
+from repro.perf import throughput, write_report
+from repro.serve import InferenceEngine
+
+from conftest import FAST, SHAPE_ASSERTS, WORLDS, bench_config, run_once
+
+EPOCHS = 2 if FAST else 3
+#: Catalog size after post-training growth (the retrieval workload).
+CATALOG = 3_000 if FAST else 100_000
+NLIST = 64 if FAST else 512
+#: Probe sweep: the chosen operating point is the smallest nprobe clearing
+#: the recall gate; larger probes trade latency for recall monotonically.
+NPROBE_SWEEP = (4, 8, 16, 32)
+RECALL_GATE = 0.95
+SPEEDUP_GATE = 20.0
+MEMORY_GATE = 3.5
+K = 10
+EVAL_USERS = 6 if FAST else 10
+
+
+def _rank_ids(recs):
+    return [r.item_id for r in recs]
+
+
+def _median_seconds(fn, repeats=3):
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def _run_suite() -> dict:
+    dataset = generate_scenario("amazon", "books", "movies", **WORLDS["amazon"])
+    split = cold_start_split(dataset, seed=0)
+    config = bench_config(epochs=EPOCHS, early_stopping=False)
+    result = OmniMatchTrainer(dataset, split, config).fit()
+
+    grown = scale_target_catalog(
+        dataset, CATALOG - len(dataset.target.items), seed=1
+    )
+    store = result.store.with_dataset(grown)
+    engine = InferenceEngine(result, store=store, nlist=NLIST, ann_seed=0)
+    users = sorted(split.test_users)[:EVAL_USERS]
+    engine.warm(users)
+
+    encode_start = time.perf_counter()
+    engine.build_index()
+    encode_seconds = time.perf_counter() - encode_start
+    build_start = time.perf_counter()
+    index = engine.ann_index()
+    build_seconds = time.perf_counter() - build_start
+
+    # Exact oracle rankings (cached: the recall sweep reuses them).
+    oracle = {
+        u: _rank_ids(engine.recommend(u, k=K, retrieval="exact")) for u in users
+    }
+
+    # nprobe sweep: recall@K against the oracle per operating point.
+    sweep = []
+    for nprobe in NPROBE_SWEEP:
+        recalls = [
+            len(
+                set(oracle[u])
+                & set(_rank_ids(engine.recommend(u, k=K, retrieval="ivf",
+                                                 nprobe=nprobe)))
+            )
+            / len(oracle[u])
+            for u in users
+        ]
+        sweep.append({"nprobe": nprobe, "recall": float(np.mean(recalls))})
+    chosen = next(
+        (p for p in sweep if p["recall"] >= RECALL_GATE), sweep[-1]
+    )
+
+    # Latency at the chosen operating point (steady state: index built,
+    # users warm; median of repeats per user, then median across users).
+    probe = chosen["nprobe"]
+    exact_seconds = float(np.median([
+        _median_seconds(lambda u=u: engine.recommend(u, k=K, retrieval="exact"))
+        for u in users
+    ]))
+    ivf_seconds = float(np.median([
+        _median_seconds(
+            lambda u=u: engine.recommend(u, k=K, retrieval="ivf", nprobe=probe)
+        )
+        for u in users
+    ]))
+
+    # Exactness contract: full probe == brute force, bit for bit.
+    witness = users[0]
+    exact_full = engine.recommend(witness, k=K, retrieval="exact")
+    ivf_full = engine.recommend(
+        witness, k=K, retrieval="ivf", nprobe=index.nlist
+    )
+    exact_degradation = [
+        (r.item_id, r.score) for r in exact_full
+    ] == [(r.item_id, r.score) for r in ivf_full]
+
+    # Int8 routing arm: same ItemIndex matrix (no re-encode), new coarse
+    # index routed over quantized codes.
+    engine.set_retrieval(ann_store="int8")
+    int8_index = engine.ann_index()
+    int8_stats = int8_index.stats
+    int8_recalls = [
+        len(
+            set(oracle[u])
+            & set(_rank_ids(engine.recommend(u, k=K, retrieval="ivf",
+                                             nprobe=probe)))
+        )
+        / len(oracle[u])
+        for u in users
+    ]
+    ivf8_full = engine.recommend(
+        witness, k=K, retrieval="ivf", nprobe=int8_index.nlist
+    )
+    int8_exact_degradation = [
+        (r.item_id, r.score) for r in exact_full
+    ] == [(r.item_id, r.score) for r in ivf8_full]
+
+    return {
+        "world": "amazon books->movies" + (" (FAST)" if FAST else ""),
+        "catalog": len(engine.items),
+        "users": len(users),
+        "k": K,
+        "nlist": index.nlist,
+        "encode_seconds": encode_seconds,
+        "build_seconds": build_seconds,
+        "build_iters": index.stats.iters_run,
+        "sweep": sweep,
+        "chosen_nprobe": probe,
+        "recall": chosen["recall"],
+        "exact": {
+            "seconds": exact_seconds,
+            "items_per_sec": throughput(len(engine.items), exact_seconds),
+        },
+        "ivf": {
+            "seconds": ivf_seconds,
+            "items_per_sec": throughput(len(engine.items), ivf_seconds),
+        },
+        "speedup": exact_seconds / ivf_seconds if ivf_seconds > 0 else 0.0,
+        "exact_degradation_bit_identical": exact_degradation,
+        "int8": {
+            "recall": float(np.mean(int8_recalls)),
+            "store_bytes": int8_stats.store_bytes,
+            "float32_bytes": int8_stats.float32_bytes,
+            "memory_ratio": int8_stats.float32_bytes / int8_stats.store_bytes,
+            "exact_degradation_bit_identical": int8_exact_degradation,
+        },
+    }
+
+
+def test_ann_retrieval(benchmark):
+    report = run_once(benchmark, _run_suite)
+    write_report("BENCH_ann.json", report)
+
+    print(f"\n=== ANN retrieval ({report['world']}) ===")
+    print(f"catalog: {report['catalog']} items  nlist: {report['nlist']}  "
+          f"encode {report['encode_seconds']:.1f}s  "
+          f"k-means build {report['build_seconds']:.2f}s "
+          f"({report['build_iters']} iters)")
+    print("nprobe sweep: " + "  ".join(
+        f"{p['nprobe']}->{p['recall']:.3f}" for p in report["sweep"]
+    ))
+    print(f"operating point: nprobe={report['chosen_nprobe']} "
+          f"recall@{report['k']}={report['recall']:.3f}")
+    print(f"exact : {report['exact']['seconds'] * 1e3:8.2f}ms/query  "
+          f"{report['exact']['items_per_sec']:12.0f} items/s")
+    print(f"ivf   : {report['ivf']['seconds'] * 1e3:8.2f}ms/query  "
+          f"{report['ivf']['items_per_sec']:12.0f} items/s  "
+          f"({report['speedup']:.1f}x)")
+    int8 = report["int8"]
+    print(f"int8  : recall {int8['recall']:.3f}  "
+          f"store {int8['store_bytes']} bytes "
+          f"({int8['memory_ratio']:.1f}x smaller than float32)")
+
+    # The exactness contract holds at every scale, both stores.
+    assert report["exact_degradation_bit_identical"]
+    assert int8["exact_degradation_bit_identical"]
+    # The recall gate is asserted even in the FAST smoke run (satellite CI
+    # gate); latency and memory ratios only at full scale.
+    assert report["recall"] >= RECALL_GATE, (
+        f"recall@{report['k']} {report['recall']:.3f} below {RECALL_GATE}"
+    )
+    if SHAPE_ASSERTS:
+        assert report["speedup"] >= SPEEDUP_GATE, (
+            f"IVF is only {report['speedup']:.1f}x the exact oracle"
+        )
+        assert int8["memory_ratio"] >= MEMORY_GATE

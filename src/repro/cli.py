@@ -150,9 +150,27 @@ def build_parser() -> argparse.ArgumentParser:
                                 "user with the richest source history)")
     recommend.add_argument("--k", type=int, default=10,
                            help="how many catalog items to return")
+    recommend.add_argument("--retrieval", choices=("exact", "ivf"),
+                           default="exact",
+                           help="full-catalog ranking strategy: exact brute "
+                                "force, or IVF coarse-probe + exact re-rank")
+    recommend.add_argument("--nlist", type=int, default=None, metavar="N",
+                           help="IVF inverted-list count "
+                                "(default: sqrt(catalog))")
+    recommend.add_argument("--nprobe", type=int, default=None, metavar="N",
+                           help="IVF lists probed per query (default 8; "
+                                ">= nlist recovers the exact ranking)")
+    recommend.add_argument("--ann-store", choices=("float32", "int8"),
+                           default="float32",
+                           help="IVF routing store (int8 quantizes the "
+                                "routing copy ~4x smaller)")
+    recommend.add_argument("--exclude-seen", action="store_true",
+                           help="drop items the user already interacted with "
+                                "in training data from the ranking")
     recommend.add_argument("--telemetry", default=None, metavar="DIR",
                            help="stream serve-stage telemetry (index build, "
-                                "cache hits, score latency) to DIR/run.jsonl")
+                                "cache hits, score latency, ann probes) to "
+                                "DIR/run.jsonl")
 
     report = sub.add_parser(
         "report", help="summarize a run.jsonl telemetry file"
@@ -298,19 +316,39 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
         if user is None:
             user = max(split.test_users,
                        key=lambda u: len(dataset.source.reviews_of_user(u)))
-        engine = InferenceEngine(result, telemetry=sink)
+        engine = InferenceEngine(
+            result, telemetry=sink,
+            retrieval=args.retrieval, nlist=args.nlist,
+            nprobe=args.nprobe, ann_store=args.ann_store,
+        )
         engine.warm([user])
-        ranked = engine.recommend(user, k=args.k)
+        # --exclude-seen drops the user's *training-visible* target
+        # interactions; a cold user's held-out interactions stay rankable
+        # (recommending them back is exactly the eval protocol's success).
+        seen = None
+        if args.exclude_seen:
+            seen = sorted(
+                r.item_id
+                for r in dataset.target.reviews_of_user(user)
+                if user in split.train_users
+            )
+        ranked = engine.recommend(user, k=args.k, exclude_items=seen)
     finally:
         if sink is not None:
             sink.close()
     print(f"top-{len(ranked)} of {len(engine.items)} catalog items "
-          f"for user {user} ({dataset.scenario})")
+          f"for user {user} ({dataset.scenario}, {args.retrieval} retrieval)")
     for rank, rec in enumerate(ranked, start=1):
         print(f"{rank:>3d}. {rec.item_id}  expected rating {rec.score:.3f}")
+    if seen:
+        print(f"excluded {len(seen)} already-seen item(s)")
     hits, misses = engine.users.hits, engine.users.misses
     print(f"cache: {hits} hits / {misses} misses; "
           f"{engine.items.encoded_count} items indexed")
+    if args.retrieval == "ivf":
+        stats = engine.ann_index().stats
+        print(f"ivf: nlist={stats.nlist} nprobe={engine.nprobe} "
+              f"store={stats.store} ({stats.store_bytes} bytes)")
     if args.telemetry:
         print(f"telemetry written to {sink.path}")
     return 0

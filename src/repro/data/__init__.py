@@ -12,6 +12,7 @@ from .synthetic import (
     GeneratorConfig,
     generate_domain_pair,
     generate_scenario,
+    scale_target_catalog,
 )
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "TOPICS",
     "generate_scenario",
     "generate_domain_pair",
+    "scale_target_catalog",
     "DocumentMatrices",
     "DocumentStore",
     "iter_batches",

@@ -131,6 +131,33 @@ class DocumentStore:
         store.vocab = vocab
         return store
 
+    def with_dataset(self, dataset: CrossDomainDataset) -> "DocumentStore":
+        """A new store over ``dataset`` with this store's vocabulary frozen.
+
+        The serving-scale pattern: the catalog grows *after* training (see
+        :func:`repro.data.scale_target_catalog`), and the trained extractors
+        only understand the vocabulary they were trained with — so the new
+        store must encode the grown corpus through the original vocab, with
+        unseen words mapping to the OOV token exactly as they would in
+        production. Documents for unchanged entities encode bit-identically
+        to this store's; caches start empty.
+        """
+        store = type(self).__new__(type(self))
+        store.dataset = dataset
+        store.split = self.split
+        store.doc_len = self.doc_len
+        store.vocab_size = self.vocab_size
+        store.field = self.field
+        store._cold = set(self._cold)
+        store._train = set(self._train)
+        store._user_source_cache = {}
+        store._user_target_cache = {}
+        store._item_cache = {}
+        store._matrices = None
+        store._token_docs = None  # re-tokenized lazily from the new corpus
+        store.vocab = self.vocab
+        return store
+
     def _tokenize_corpus(self) -> list[list[str]]:
         corpus = [self._review_text(r) for r in self._visible_reviews()]
         return [build_document([text]) for text in corpus]

@@ -38,6 +38,7 @@ __all__ = [
     "TOPICS",
     "generate_scenario",
     "generate_domain_pair",
+    "scale_target_catalog",
 ]
 
 # ---------------------------------------------------------------------------
@@ -318,6 +319,121 @@ def generate_domain_pair(
         metadata={"config": config},
     )
     return dataset
+
+
+def scale_target_catalog(
+    dataset: CrossDomainDataset,
+    extra_items: int,
+    *,
+    reviews_per_item: int = 2,
+    seed: int = 0,
+) -> CrossDomainDataset:
+    """Grow the *target* catalog to serving scale after training.
+
+    This models the production pattern the ANN retriever exists for: the
+    model was trained on the original corpus, then the live catalog grows by
+    ``extra_items`` new target-domain items, each carrying a few reviews
+    from *new* users (ids disjoint from the original pool, so the
+    cold-start split, the training interactions, and every user document
+    are untouched — only item documents are new). Pair the result with
+    :meth:`repro.data.DocumentStore.with_dataset` to serve the grown
+    catalog through a trained model's frozen vocabulary.
+
+    Unlike :func:`generate_domain_pair`, composition here is vectorized
+    (one word-table gather per lexicon instead of per-review ``rng.choice``
+    calls), which is what makes 10^5-10^6-item catalogs practical to
+    synthesize; full texts reuse the summaries since only summaries feed
+    item documents. Deterministic in ``(dataset sizes, extra_items,
+    reviews_per_item, seed)``.
+    """
+    if extra_items < 0:
+        raise ValueError("extra_items must be >= 0")
+    if reviews_per_item < 1:
+        raise ValueError("reviews_per_item must be >= 1")
+    if extra_items == 0:
+        return dataset
+    config: GeneratorConfig = dataset.metadata.get("config", GeneratorConfig())
+    domain = dataset.target.name
+    rng = np.random.default_rng((seed, zlib.crc32(f"scale:{domain}".encode())))
+    topic_names = list(TOPICS)
+    num_topics = len(topic_names)
+    n_reviews = extra_items * reviews_per_item
+
+    # Latent structure, all drawn at once: one topic mixture + bias per new
+    # item, one preference vector + bias per new (single-review) user.
+    item_topics = rng.dirichlet(
+        [config.item_topic_concentration] * num_topics, size=extra_items
+    )
+    item_bias = rng.normal(0.0, config.item_bias_std, size=extra_items)
+    prefs = rng.dirichlet([config.topic_concentration] * num_topics, size=n_reviews)
+    user_bias = rng.normal(0.0, config.user_bias_std, size=n_reviews)
+    review_item = np.repeat(np.arange(extra_items), reviews_per_item)
+
+    # Ratings: the same latent->stars curve as generate_domain_pair, with
+    # the affinity standardized over the whole batch (each new user has a
+    # single review, so there is no per-user curve to standardize against).
+    raw = np.einsum("ij,ij->i", item_topics[review_item], prefs)
+    z = (raw - raw.mean()) / (raw.std() + 1e-9)
+    stars = np.clip(
+        np.rint(
+            3.0
+            + config.affinity_scale * z
+            + user_bias
+            + item_bias[review_item]
+            + rng.normal(0.0, config.rating_noise_std, size=n_reviews)
+        ),
+        1,
+        5,
+    ).astype(np.intp)
+
+    # Word tables: every lexicon list has a fixed length, so each word slot
+    # is a single fancy-index gather over a rectangular table.
+    topic_table = np.array([TOPICS[name] for name in topic_names])
+    sent_table = np.array([SENTIMENT[r] for r in sorted(SENTIMENT)])
+    domain_words = np.array(DOMAIN_WORDS[domain])
+
+    # Topic index per word slot via per-review inverse CDF over the same
+    # user-weighted blend as _compose_summary.
+    blend = item_topics[review_item] * (0.5 + prefs)
+    cum = np.cumsum(blend / blend.sum(axis=1, keepdims=True), axis=1)
+    draws = rng.random((n_reviews, config.summary_topic_words))
+    topic_idx = np.minimum(
+        (draws[:, :, None] > cum[:, None, :]).sum(axis=2), num_topics - 1
+    )
+    word_cols = [
+        topic_table[topic_idx[:, slot],
+                    rng.integers(0, topic_table.shape[1], size=n_reviews)]
+        for slot in range(config.summary_topic_words)
+    ]
+    word_cols.extend(
+        sent_table[stars - 1, rng.integers(0, sent_table.shape[1], size=n_reviews)]
+        for _ in range(config.summary_sentiment_words)
+    )
+    word_cols.extend(
+        domain_words[rng.integers(0, len(domain_words), size=n_reviews)]
+        for _ in range(config.summary_domain_words)
+    )
+    words = np.stack(word_cols, axis=1)
+
+    base_items = len(dataset.target.items)
+    item_ids = [f"{domain[:2].upper()}N{base_items + i:06d}" for i in range(extra_items)]
+    reviews = list(dataset.target.reviews)
+    for r in range(n_reviews):
+        summary = " ".join(words[r])
+        reviews.append(
+            Review(
+                user_id=f"UN{r:06d}",
+                item_id=item_ids[review_item[r]],
+                rating=float(stars[r]),
+                summary=summary,
+                text=summary,
+            )
+        )
+    return CrossDomainDataset(
+        source=dataset.source,
+        target=DomainData(domain, reviews),
+        metadata={**dataset.metadata, "scaled_items": extra_items},
+    )
 
 
 def generate_scenario(

@@ -81,6 +81,23 @@ def summarize_run(events: list[dict]) -> dict:
             "index_items": 0,
             "users_encoded": 0,
         },
+        "ann": {
+            "builds": 0,
+            "nlist": 0,
+            "store": None,
+            "store_bytes": 0,
+            "float32_bytes": 0,
+            "build_seconds": 0.0,
+            "probes": 0,
+            "candidates": 0,
+            "catalog_scanned": 0,
+            "probe_seconds": [],
+            "probe_p50": 0.0,
+            "probe_p95": 0.0,
+            "scan_fraction": 0.0,
+            "recall": None,
+            "recall_k": None,
+        },
     }
     for event in events:
         kind = event.get("kind")
@@ -158,6 +175,23 @@ def summarize_run(events: list[dict]) -> dict:
             summary["serving"]["index_items"] += event.get("items", 0)
         elif kind == "serve_encode_users":
             summary["serving"]["users_encoded"] += event.get("users", 0)
+        elif kind == "serve_ann_build":
+            ann = summary["ann"]
+            ann["builds"] += 1
+            ann["nlist"] = event.get("nlist", 0)
+            ann["store"] = event.get("store")
+            ann["store_bytes"] = event.get("store_bytes", 0)
+            ann["float32_bytes"] = event.get("float32_bytes", 0)
+            ann["build_seconds"] += float(event.get("seconds", 0.0))
+        elif kind == "serve_ann_probe":
+            ann = summary["ann"]
+            ann["probes"] += 1
+            ann["candidates"] += event.get("candidates", 0)
+            ann["catalog_scanned"] += event.get("catalog", 0)
+            ann["probe_seconds"].append(float(event.get("seconds", 0.0)))
+        elif kind == "serve_ann_recall":
+            summary["ann"]["recall"] = event.get("recall")
+            summary["ann"]["recall_k"] = event.get("k")
     if summary["seconds"] > 0:
         summary["samples_per_sec"] = summary["samples"] / summary["seconds"]
     serving = summary["serving"]
@@ -172,6 +206,13 @@ def summarize_run(events: list[dict]) -> dict:
         if total_seconds > 0:
             serving["pairs_per_sec"] = serving["pairs"] / total_seconds
             serving["items_per_sec"] = serving["items_ranked"] / total_seconds
+    ann = summary["ann"]
+    if ann["probe_seconds"]:
+        latencies = np.asarray(ann["probe_seconds"], dtype=np.float64)
+        ann["probe_p50"] = float(np.percentile(latencies, 50))
+        ann["probe_p95"] = float(np.percentile(latencies, 95))
+    if ann["catalog_scanned"]:
+        ann["scan_fraction"] = ann["candidates"] / ann["catalog_scanned"]
     return summary
 
 
@@ -283,6 +324,38 @@ def render_report(events: list[dict]) -> str:
             )
         if serving["users_encoded"]:
             lines.append(f"  users pre-encoded: {serving['users_encoded']}")
+
+    ann = summary["ann"]
+    if ann["builds"] or ann["probes"]:
+        lines.append("")
+        lines.append(
+            f"ann retrieval ({ann['builds']} index builds, "
+            f"{ann['probes']} probes)"
+        )
+        if ann["builds"]:
+            ratio = (
+                ann["float32_bytes"] / ann["store_bytes"]
+                if ann["store_bytes"]
+                else 0.0
+            )
+            lines.append(
+                f"  coarse index: nlist {ann['nlist']}  "
+                f"store {ann['store'] or '?'} "
+                f"({ann['store_bytes']} bytes, {ratio:.1f}x vs float32)  "
+                f"build {ann['build_seconds']:.2f}s"
+            )
+        if ann["probes"]:
+            lines.append(
+                f"  candidates scored: {ann['candidates']}/"
+                f"{ann['catalog_scanned']} catalog rows "
+                f"({100.0 * ann['scan_fraction']:.1f}% scanned)  "
+                f"probe p50 {ann['probe_p50'] * 1000.0:.1f}ms  "
+                f"p95 {ann['probe_p95'] * 1000.0:.1f}ms"
+            )
+        if ann["recall"] is not None:
+            lines.append(
+                f"  measured recall@{ann['recall_k']}: {ann['recall']:.3f}"
+            )
 
     if summary["checkpoints"]:
         lines.append("")

@@ -62,6 +62,10 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     "serve_encode_users": ("users", "seconds"),
     "serve_score": ("pairs", "seconds", "cache_hits", "cache_misses"),
     "serve_recommend": ("user", "k", "catalog", "seconds"),
+    # Approximate retrieval (repro.serve.ann via the engine)
+    "serve_ann_build": ("items", "nlist", "iters", "store", "seconds"),
+    "serve_ann_probe": ("user", "k", "nprobe", "candidates", "catalog", "seconds"),
+    "serve_ann_recall": ("users", "k", "recall"),
 }
 
 _BASE_FIELDS = ("seq", "ts", "run", "kind")

@@ -11,23 +11,35 @@ fixed-block encoding invariant that makes the guarantee hold.
 ``repro.core.ColdStartPredictor`` delegates here, so the evaluation
 protocol and every caller of ``predict_pairs`` get the cached fast path
 without code changes.
+
+At scale, ``recommend(retrieval="ivf")`` swaps brute force for an
+:class:`IVFIndex` — coarse k-means routing plus exact rating-head re-rank
+over the probed inverted lists (``repro.serve.ann``), optionally routing
+over an int8 :class:`QuantizedMatrix` store (``repro.serve.quant``).
 """
 
+from .ann import DEFAULT_NPROBE, IVFBuildStats, IVFIndex, default_nlist
 from .blocking import DEFAULT_BLOCK, encode_blocked, inference_mode
 from .engine import ColdStartDocuments, InferenceEngine, Recommendation
 from .item_index import ItemIndex
+from .quant import QuantizedMatrix
 from .reference import naive_score_pairs
 from .user_cache import DEFAULT_CAPACITY, UserReprCache
 
 __all__ = [
     "DEFAULT_BLOCK",
     "DEFAULT_CAPACITY",
+    "DEFAULT_NPROBE",
+    "default_nlist",
     "encode_blocked",
     "inference_mode",
     "ColdStartDocuments",
     "InferenceEngine",
-    "Recommendation",
+    "IVFBuildStats",
+    "IVFIndex",
     "ItemIndex",
+    "QuantizedMatrix",
+    "Recommendation",
     "UserReprCache",
     "naive_score_pairs",
 ]

@@ -1,0 +1,311 @@
+"""IVF-style approximate top-K retrieval over the item-representation matrix.
+
+``InferenceEngine.recommend`` is exact brute force: every catalog item goes
+through the rating head on every call. That is fine at 10^3 items and
+hopeless at 10^7. This module adds the standard two-stage fix:
+
+1. **Coarse routing (build time).** K-means over the ``ItemIndex``
+   representation matrix — deterministic k-means++ seeding from the run
+   seed, Lloyd's iterations implemented as blocked GEMMs — assigns every
+   catalog slot to one of ``nlist`` centroids and records the inverted
+   lists.
+2. **Probe + exact re-rank (query time).** The engine scores the ``nlist``
+   centroids through the *exact* rating head (a centroid is scored like a
+   pseudo-item, so "nearest" means "highest expected rating" in the model's
+   own metric, not a proxy distance), probes the ``nprobe`` best, and runs
+   the existing exact rating-head scoring over the union of their inverted
+   lists only. Final scores are therefore bit-identical to brute force on
+   the candidate set, and ``nprobe >= nlist`` degrades to the exact path,
+   bit for bit.
+
+The routing data can optionally live in an int8 quantized store
+(``store="int8"``, see ``repro.serve.quant``): the k-means GEMMs then run
+off the quantized codes with the dequantization scale folded into the small
+centroid operand, cutting the index's resident representation memory ~4x.
+Re-ranking always reads the float32 rows from the ``ItemIndex``.
+
+Everything here is deterministic: the seeding RNG is derived from an
+explicit seed, blocked GEMMs use fixed block sizes, and every tie
+(assignment, probe order, ranking) breaks toward the lower index.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .quant import QuantizedMatrix
+
+__all__ = ["DEFAULT_NPROBE", "IVFBuildStats", "IVFIndex", "default_nlist"]
+
+#: Default number of inverted lists probed per query.
+DEFAULT_NPROBE = 8
+
+#: Default cap on Lloyd's iterations (early-stops when assignments settle).
+DEFAULT_ITERS = 8
+
+#: Rows per blocked GEMM during build (bounds transient memory, not results).
+BUILD_BLOCK = 8192
+
+
+def default_nlist(n_items: int) -> int:
+    """The usual IVF heuristic: ``sqrt(n)`` lists, at least 1."""
+    return max(1, min(n_items, int(round(math.sqrt(n_items)))))
+
+
+@dataclass(frozen=True)
+class IVFBuildStats:
+    """What one index build did, for telemetry and benchmark reports."""
+
+    items: int
+    dim: int
+    nlist: int
+    iters_run: int
+    converged: bool
+    store: str
+    seed: int
+    seconds: float
+    #: Resident bytes of the routing representation store (int8 codes +
+    #: scales, or the float32 matrix the index routes over).
+    store_bytes: int
+    #: Bytes of the float32 representation matrix, for the memory ratio.
+    float32_bytes: int
+
+
+class _Float32Store:
+    """Routing store that reads the float32 matrix directly (no copy)."""
+
+    name = "float32"
+
+    def __init__(self, reprs: np.ndarray) -> None:
+        self._reprs = reprs
+
+    @property
+    def nbytes(self) -> int:
+        return self._reprs.nbytes
+
+    def rows(self, index) -> np.ndarray:
+        return self._reprs[index]
+
+    def fold(self, operand: np.ndarray) -> np.ndarray:
+        return operand
+
+    def scores(self, index, folded: np.ndarray) -> np.ndarray:
+        return self._reprs[index] @ folded
+
+
+class _Int8Store:
+    """Routing store over int8 codes; dequant scale folds into the operand."""
+
+    name = "int8"
+
+    def __init__(self, reprs: np.ndarray) -> None:
+        self._q = QuantizedMatrix(reprs)
+
+    @property
+    def nbytes(self) -> int:
+        return self._q.nbytes
+
+    def rows(self, index) -> np.ndarray:
+        return self._q.dequantize(index)
+
+    def fold(self, operand: np.ndarray) -> np.ndarray:
+        return self._q.scale[:, None] * operand.astype(self._q.dtype, copy=False)
+
+    def scores(self, index, folded: np.ndarray) -> np.ndarray:
+        return self._q.codes[index].astype(self._q.dtype) @ folded
+
+
+class IVFIndex:
+    """Inverted-file index over a ``(n_items, d)`` representation matrix."""
+
+    def __init__(
+        self,
+        reprs: np.ndarray,
+        *,
+        nlist: int | None = None,
+        seed: int = 0,
+        iters: int = DEFAULT_ITERS,
+        store: str = "float32",
+        block: int = BUILD_BLOCK,
+    ) -> None:
+        reprs = np.asarray(reprs)
+        if reprs.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {reprs.shape}")
+        if store not in ("float32", "int8"):
+            raise ValueError("store must be 'float32' or 'int8'")
+        if iters < 1:
+            raise ValueError("iters must be >= 1")
+        n, dim = reprs.shape
+        if nlist is None:
+            nlist = default_nlist(n)
+        if nlist < 1 and n > 0:
+            raise ValueError("nlist must be >= 1")
+        nlist = min(nlist, n)
+        self.block = max(1, int(block))
+        self.dtype = reprs.dtype if reprs.dtype.kind == "f" else np.dtype(np.float32)
+
+        start = time.perf_counter()
+        self._store = (_Int8Store if store == "int8" else _Float32Store)(reprs)
+        if n == 0:
+            self.centroids = np.zeros((0, dim), dtype=self.dtype)
+            self.assignments = np.zeros(0, dtype=np.intp)
+            self.lists: list[np.ndarray] = []
+            iters_run, converged = 0, True
+        else:
+            rng = np.random.default_rng(seed)
+            self.centroids = self._seed_centroids(n, nlist, rng)
+            iters_run, converged = self._lloyd(n, iters, rng)
+            self.assignments = self._assign(n)
+            self.lists = self._build_lists(n, nlist)
+        self.stats = IVFBuildStats(
+            items=n,
+            dim=dim,
+            nlist=nlist,
+            iters_run=iters_run,
+            converged=converged,
+            store=store,
+            seed=seed,
+            seconds=time.perf_counter() - start,
+            store_bytes=self._store.nbytes,
+            float32_bytes=reprs.nbytes,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def nlist(self) -> int:
+        return len(self.centroids)
+
+    def __len__(self) -> int:
+        return self.stats.items
+
+    # ------------------------------------------------------------------
+    # Build: deterministic k-means++ seeding + blocked Lloyd iterations
+    # ------------------------------------------------------------------
+    def _seed_pool(self, n: int, nlist: int, rng: np.random.Generator) -> np.ndarray:
+        """Slot sample used for seeding and empty-cluster repair. Bounded so
+        k-means++'s ``nlist`` sequential passes stay cheap at 10^6 items."""
+        size = min(n, max(4 * nlist, 2048))
+        return np.sort(rng.choice(n, size=size, replace=False))
+
+    def _seed_centroids(
+        self, n: int, nlist: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        self._pool_slots = self._seed_pool(n, nlist, rng)
+        self._pool = np.ascontiguousarray(
+            self._store.rows(self._pool_slots), dtype=self.dtype
+        )
+        self._pool_norm2 = np.einsum("ij,ij->i", self._pool, self._pool)
+        pool = self._pool
+        centroids = np.empty((nlist, pool.shape[1]), dtype=self.dtype)
+        pick = int(rng.integers(len(pool)))
+        centroids[0] = pool[pick]
+        min_d2 = np.einsum("ij,ij->i", pool - centroids[0], pool - centroids[0])
+        for j in range(1, nlist):
+            total = float(min_d2.sum())
+            if total > 0:
+                # D^2-weighted pick via inverse CDF — deterministic given rng.
+                r = rng.random() * total
+                pick = min(
+                    int(np.searchsorted(np.cumsum(min_d2), r, side="right")),
+                    len(pool) - 1,
+                )
+            else:  # degenerate pool (duplicates): any point is as good
+                pick = int(rng.integers(len(pool)))
+            centroids[j] = pool[pick]
+            delta = pool - centroids[j]
+            np.minimum(min_d2, np.einsum("ij,ij->i", delta, delta), out=min_d2)
+        return centroids
+
+    def _assign_block(self, index, folded: np.ndarray, offsets: np.ndarray):
+        """Nearest-centroid ids for one row block: ``argmax(x.c - |c|^2/2)``
+        equals ``argmin |x - c|^2``; ``argmax`` breaks ties toward the
+        lower centroid id."""
+        return np.argmax(self._store.scores(index, folded) + offsets, axis=1)
+
+    def _routing_operands(self) -> tuple[np.ndarray, np.ndarray]:
+        folded = self._store.fold(self.centroids.T)
+        offsets = -0.5 * np.einsum(
+            "ij,ij->i", self.centroids, self.centroids
+        ).astype(self.dtype)
+        return folded, offsets
+
+    def _lloyd(self, n: int, iters: int, rng: np.random.Generator) -> tuple[int, bool]:
+        nlist = len(self.centroids)
+        previous = np.full(n, -1, dtype=np.intp)
+        iters_run, converged = 0, False
+        for _ in range(iters):
+            iters_run += 1
+            folded, offsets = self._routing_operands()
+            sums = np.zeros_like(self.centroids)
+            counts = np.zeros(nlist, dtype=np.intp)
+            assign = np.empty(n, dtype=np.intp)
+            for start in range(0, n, self.block):
+                index = slice(start, min(start + self.block, n))
+                assign[index] = self._assign_block(index, folded, offsets)
+                rows = self._store.rows(index)
+                onehot = np.zeros((rows.shape[0], nlist), dtype=self.dtype)
+                onehot[np.arange(rows.shape[0]), assign[index]] = 1.0
+                sums += onehot.T @ rows
+                counts += np.bincount(assign[index], minlength=nlist)
+            occupied = counts > 0
+            self.centroids[occupied] = (
+                sums[occupied] / counts[occupied, None]
+            ).astype(self.dtype)
+            repaired = self._repair_empty(~occupied)
+            if not repaired and np.array_equal(assign, previous):
+                converged = True
+                break
+            previous = assign
+        return iters_run, converged
+
+    def _repair_empty(self, empty: np.ndarray) -> bool:
+        """Re-seed empty centroids from the pool points farthest from their
+        nearest centroid (deterministic; ties break toward lower slots)."""
+        empties = np.flatnonzero(empty)
+        if not len(empties):
+            return False
+        centroids = self.centroids
+        best = (
+            self._pool @ centroids.T
+            - 0.5 * np.einsum("ij,ij->i", centroids, centroids)
+        ).max(axis=1)
+        # |x - nearest|^2 = |x|^2 - 2 * best; farthest-first, ties toward
+        # the lower pool slot (stable sort of the negated distances).
+        order = np.argsort(-(self._pool_norm2 - 2.0 * best), kind="stable")
+        for rank, j in enumerate(empties):
+            centroids[j] = self._pool[order[rank % len(order)]]
+        return True
+
+    def _assign(self, n: int) -> np.ndarray:
+        folded, offsets = self._routing_operands()
+        assign = np.empty(n, dtype=np.intp)
+        for start in range(0, n, self.block):
+            index = slice(start, min(start + self.block, n))
+            assign[index] = self._assign_block(index, folded, offsets)
+        return assign
+
+    def _build_lists(self, n: int, nlist: int) -> list[np.ndarray]:
+        order = np.argsort(self.assignments, kind="stable")
+        counts = np.bincount(self.assignments, minlength=nlist)
+        bounds = np.concatenate([[0], np.cumsum(counts)])
+        return [
+            order[bounds[j] : bounds[j + 1]] for j in range(nlist)
+        ]  # stable sort of ascending slots => each list is ascending
+
+    # ------------------------------------------------------------------
+    # Query-side helpers (the engine owns centroid *scoring*)
+    # ------------------------------------------------------------------
+    def candidate_slots(self, probe_order: Sequence[int], nprobe: int) -> np.ndarray:
+        """Union of the inverted lists of the first ``nprobe`` centroids in
+        ``probe_order``, sorted ascending (the exact-scoring slot order)."""
+        if nprobe < 1:
+            raise ValueError("nprobe must be >= 1")
+        probed = list(probe_order)[: min(nprobe, len(self.lists))]
+        if not probed:
+            return np.zeros(0, dtype=np.intp)
+        return np.sort(np.concatenate([self.lists[j] for j in probed]))

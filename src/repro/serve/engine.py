@@ -14,6 +14,13 @@ encoder (``repro.serve.blocking``), so engine predictions match the
 re-encoding reference path (``repro.serve.reference``) bit for bit, and
 ``recommend`` scores match ``score_pairs`` over the same catalog exactly.
 
+Retrieval: ``recommend`` is exact brute force by default. At large catalog
+sizes switch to ``retrieval="ivf"`` — coarse k-means routing over the item
+matrix (``repro.serve.ann``) shortlists the inverted lists of the
+``nprobe`` best centroids, and only the shortlist goes through the exact
+rating head, so candidate scores stay bit-identical to brute force and
+``nprobe >= nlist`` *is* the exact path.
+
 Observability: the engine keeps cache hit/miss/eviction counters and
 per-stage latency histograms in a :class:`~repro.obs.MetricsRegistry`, and
 emits ``serve_*`` telemetry events (rendered by ``repro report``) to an
@@ -32,11 +39,14 @@ from .. import nn
 from ..core.model import RATING_VALUES
 from ..nn import functional as F
 from ..obs import MetricsRegistry, get_active_sink
+from .ann import DEFAULT_ITERS, DEFAULT_NPROBE, IVFIndex, default_nlist
 from .blocking import DEFAULT_BLOCK, encode_blocked, inference_mode
 from .item_index import ItemIndex
 from .user_cache import DEFAULT_CAPACITY, UserReprCache
 
 __all__ = ["ColdStartDocuments", "InferenceEngine", "Recommendation"]
+
+_RETRIEVALS = ("exact", "ivf")
 
 
 @dataclass(frozen=True)
@@ -56,11 +66,11 @@ class ColdStartDocuments:
     ``use_auxiliary_reviews`` ablation is off (§4.1's suboptimal strategy).
     """
 
-    def __init__(self, result) -> None:
-        self.store = result.store
+    def __init__(self, result, store=None) -> None:
+        self.store = store if store is not None else result.store
         self.aux_generator = result.aux_generator
         self.use_aux = result.model.config.use_auxiliary_reviews
-        self._train_users = set(result.store.split.train_users)
+        self._train_users = set(self.store.split.train_users)
         self._cache: dict[str, np.ndarray] = {}
 
     def target_doc(self, user_id: str) -> np.ndarray:
@@ -95,7 +105,14 @@ class InferenceEngine:
         batch_size: int = DEFAULT_BLOCK,
         cache_capacity: int = DEFAULT_CAPACITY,
         catalog: Sequence[str] | None = None,
+        store=None,
         telemetry=None,
+        retrieval: str = "exact",
+        nlist: int | None = None,
+        nprobe: int | None = None,
+        ann_store: str = "float32",
+        ann_seed: int | None = None,
+        ann_iters: int = DEFAULT_ITERS,
     ) -> None:
         """
         Parameters
@@ -110,19 +127,40 @@ class InferenceEngine:
         catalog:
             Item universe for ``recommend`` (default: every target-domain
             item). Items outside it can still be scored pairwise.
+        store:
+            Optional :class:`~repro.data.DocumentStore` override — e.g. one
+            rebuilt via ``DocumentStore.with_dataset`` over a catalog scaled
+            after training. Defaults to ``result.store``.
         telemetry:
             Optional :class:`repro.obs.TelemetrySink`; when omitted, events
             go to the ambient sink if one is installed.
+        retrieval:
+            Default ``recommend`` strategy: ``"exact"`` brute force or
+            ``"ivf"`` coarse-probe + exact re-rank.
+        nlist / nprobe:
+            IVF shape: number of inverted lists (default ``sqrt(catalog)``)
+            and lists probed per query (default 8; ``>= nlist`` recovers the
+            exact result bit for bit).
+        ann_store:
+            Routing representation store: ``"float32"`` routes over the
+            item matrix in place; ``"int8"`` keeps a quantized copy (~4x
+            smaller) and routes off that. Re-ranking is always float32.
+        ann_seed:
+            K-means seeding RNG seed (default: the model's training seed).
+        ann_iters:
+            Lloyd's iteration cap for the coarse index build.
         """
+        if retrieval not in _RETRIEVALS:
+            raise ValueError(f"retrieval must be one of {_RETRIEVALS}")
         self.model = result.model
-        self.store = result.store
+        self.store = store if store is not None else result.store
         self.aux_generator = result.aux_generator
         self.batch_size = batch_size
         self.out_dtype = np.dtype(self.model.config.dtype)
         self.blend = self.model.config.cold_inference in ("blend", "dual")
         self.telemetry = telemetry
         self.metrics = MetricsRegistry()
-        self.docs = ColdStartDocuments(result)
+        self.docs = ColdStartDocuments(result, store=self.store)
         self.items = ItemIndex(
             self.model, self.store, catalog=catalog,
             block=batch_size, metrics=self.metrics,
@@ -130,6 +168,18 @@ class InferenceEngine:
         self.users = UserReprCache(
             self._encode_users, capacity=cache_capacity, metrics=self.metrics
         )
+        self.retrieval = retrieval
+        self.nlist = nlist
+        self.nprobe = nprobe if nprobe is not None else DEFAULT_NPROBE
+        self.ann_store = ann_store
+        self.ann_seed = ann_seed if ann_seed is not None else self.model.config.seed
+        self.ann_iters = ann_iters
+        self._ann: IVFIndex | None = None
+        self._ann_key: tuple | None = None
+        # Reusable scratch for the single-user catalog scorer (satellite:
+        # recommend must not allocate a fresh O(catalog) vector per call).
+        self._features_scratch: np.ndarray | None = None
+        self._scores_scratch: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Telemetry plumbing
@@ -235,6 +285,69 @@ class InferenceEngine:
         with inference_mode(self.model):
             return encode_blocked(head, features, self.batch_size)
 
+    def _head_scores(self, features: np.ndarray) -> np.ndarray:
+        """Rating-head expected ratings for exactly ``batch_size`` rows."""
+        logits = self.model.rating_classifier(nn.Tensor(features))
+        return F.softmax(logits, axis=-1).data @ RATING_VALUES
+
+    def _scores_buffer(self, size: int) -> np.ndarray:
+        """A ``(size,)`` view of the reusable score scratch (grown, never
+        shrunk, so steady-state calls allocate nothing catalog-sized)."""
+        if self._scores_scratch is None or len(self._scores_scratch) < size:
+            self._scores_scratch = np.empty(size, dtype=self.out_dtype)
+        return self._scores_scratch[:size]
+
+    def _score_user_rows(
+        self,
+        invariant: np.ndarray,
+        user_repr: np.ndarray,
+        matrix: np.ndarray,
+        slots: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Score one user against ``matrix`` rows (all of them, or the
+        ``slots`` gather) through the exact blocked rating head.
+
+        Bit-identical to :meth:`_score_rows` over the same rows: the
+        feature blocks are assembled in a fixed ``(batch_size, head_dim)``
+        scratch — user columns broadcast instead of ``np.repeat``-ed, pad
+        rows zeroed exactly like ``encode_blocked`` pads — so the head GEMM
+        sees the same operand matrix either way, without per-call
+        O(catalog) feature/user-row allocations.
+        """
+        count = len(matrix) if slots is None else len(slots)
+        out = self._scores_buffer(count)
+        if count == 0:
+            return out
+        dim = matrix.shape[1]
+        user_width = user_repr.shape[1]
+        head_dim = user_width + 2 * dim
+        batch = self.batch_size
+        if (
+            self._features_scratch is None
+            or self._features_scratch.shape != (batch, head_dim)
+            or self._features_scratch.dtype != matrix.dtype
+        ):
+            self._features_scratch = np.zeros((batch, head_dim), dtype=matrix.dtype)
+        features = self._features_scratch
+        features[:, :user_width] = user_repr  # broadcasts the single row
+        with inference_mode(self.model):
+            for start in range(0, count, batch):
+                kept = min(batch, count - start)
+                rows = (
+                    matrix[start : start + kept]
+                    if slots is None
+                    else matrix[slots[start : start + kept]]
+                )
+                features[:kept, user_width : user_width + dim] = rows
+                np.multiply(
+                    rows, invariant,
+                    out=features[:kept, user_width + dim :],
+                )
+                if kept < batch:  # zero the pad rows, like encode_blocked
+                    features[kept:, :] = 0.0
+                out[start : start + kept] = self._head_scores(features)[:kept]
+        return out
+
     def score_pairs(self, pairs: Sequence[tuple[str, str]]) -> np.ndarray:
         """Expected ratings for explicit ``(user_id, item_id)`` pairs.
 
@@ -268,22 +381,137 @@ class InferenceEngine:
         )
         return out
 
+    # ------------------------------------------------------------------
+    # Approximate retrieval
+    # ------------------------------------------------------------------
+    def set_retrieval(
+        self,
+        retrieval: str | None = None,
+        *,
+        nlist: int | None = None,
+        nprobe: int | None = None,
+        ann_store: str | None = None,
+    ) -> None:
+        """Reconfigure the default retrieval strategy in place.
+
+        Changing ``nlist`` or ``ann_store`` drops the cached coarse index so
+        the next IVF query rebuilds it; ``nprobe`` is query-time only.
+        """
+        if retrieval is not None:
+            if retrieval not in _RETRIEVALS:
+                raise ValueError(f"retrieval must be one of {_RETRIEVALS}")
+            self.retrieval = retrieval
+        if nlist is not None:
+            self.nlist = nlist
+        if nprobe is not None:
+            self.nprobe = nprobe
+        if ann_store is not None:
+            self.ann_store = ann_store
+
+    def ann_index(self) -> IVFIndex:
+        """The coarse IVF index over the current catalog matrix, building
+        (and re-building after :meth:`ItemIndex.invalidate` or any catalog
+        encode that bumped ``items.version``) as needed."""
+        self.build_index()
+        reprs = self.items.reprs
+        nlist = self.nlist if self.nlist is not None else default_nlist(len(reprs))
+        key = (self.items.version, nlist, self.ann_store, self.ann_seed)
+        if self._ann is None or self._ann_key != key:
+            index = IVFIndex(
+                reprs,
+                nlist=nlist,
+                seed=self.ann_seed,
+                iters=self.ann_iters,
+                store=self.ann_store,
+            )
+            self._ann, self._ann_key = index, key
+            stats = index.stats
+            self.metrics.inc("serve.ann_builds")
+            self.metrics.observe("serve.ann_build_seconds", stats.seconds)
+            self._emit(
+                "serve_ann_build",
+                items=stats.items, nlist=stats.nlist, iters=stats.iters_run,
+                store=stats.store, seconds=stats.seconds,
+                store_bytes=stats.store_bytes,
+                float32_bytes=stats.float32_bytes,
+            )
+        return self._ann
+
+    def _probe(
+        self,
+        index: IVFIndex,
+        invariant: np.ndarray,
+        user_repr: np.ndarray,
+        nprobe: int,
+    ) -> np.ndarray:
+        """Shortlist slots: rate the centroids with the exact head, probe
+        the ``nprobe`` best (ties toward the lower centroid id)."""
+        centroid_scores = np.array(
+            self._score_user_rows(invariant, user_repr, index.centroids),
+            copy=True,  # the scratch buffer is about to be reused
+        )
+        order = np.lexsort((np.arange(len(centroid_scores)), -centroid_scores))
+        return index.candidate_slots(order, nprobe)
+
+    def measure_recall(
+        self,
+        user_ids: Sequence[str],
+        k: int = 10,
+        nprobe: int | None = None,
+    ) -> float:
+        """Mean recall@k of IVF retrieval against the exact oracle over
+        ``user_ids`` (1.0 when every approximate top-k matches). Emits a
+        ``serve_ann_recall`` telemetry event."""
+        user_ids = list(user_ids)
+        if not user_ids:
+            raise ValueError("measure_recall needs at least one user")
+        recalls = []
+        for user_id in user_ids:
+            exact = {r.item_id for r in self.recommend(user_id, k, retrieval="exact")}
+            if not exact:
+                continue
+            approx = {
+                r.item_id
+                for r in self.recommend(user_id, k, retrieval="ivf", nprobe=nprobe)
+            }
+            recalls.append(len(exact & approx) / len(exact))
+        recall = float(np.mean(recalls)) if recalls else 1.0
+        self._emit(
+            "serve_ann_recall",
+            users=len(user_ids), k=k, recall=recall,
+            nprobe=nprobe if nprobe is not None else self.nprobe,
+        )
+        return recall
+
+    # ------------------------------------------------------------------
+    # Recommendation
+    # ------------------------------------------------------------------
     def recommend(
         self,
         user_id: str,
         k: int = 10,
         exclude_items: Iterable[str] | None = None,
+        *,
+        retrieval: str | None = None,
+        nprobe: int | None = None,
     ) -> list[Recommendation]:
-        """Exact top-``k`` of full-catalog scoring for one user.
+        """Top-``k`` of full-catalog scoring for one user.
 
-        Scores every catalog item via blocked rating-head GEMMs over the
-        item matrix (bit-identical to ``score_pairs`` on the same pairs),
-        then takes the top-``k`` with ``argpartition`` + an exact ordering
-        pass; ties break toward the lower catalog slot. ``exclude_items``
-        removes already-seen items from the ranking.
+        With ``retrieval="exact"`` every catalog item is scored via blocked
+        rating-head GEMMs over the item matrix (bit-identical to
+        ``score_pairs`` on the same pairs). With ``"ivf"`` only the
+        shortlist from the probed inverted lists is scored — through the
+        *same* blocked head, so candidate scores match brute force bit for
+        bit and ``nprobe >= nlist`` recovers the exact ranking exactly.
+        Ties break toward the lower catalog slot; ``exclude_items`` removes
+        already-seen items from the ranking. ``retrieval``/``nprobe``
+        override the engine defaults for this call only.
         """
         if k < 1:
             raise ValueError("k must be >= 1")
+        mode = retrieval if retrieval is not None else self.retrieval
+        if mode not in _RETRIEVALS:
+            raise ValueError(f"retrieval must be one of {_RETRIEVALS}")
         start = time.perf_counter()
         self.build_index()
         catalog_size = len(self.items)
@@ -291,24 +519,41 @@ class InferenceEngine:
             return []
         reprs = self.items.reprs
         invariant, user_repr = self.users.get_many([user_id])
-        scores = np.empty(catalog_size, dtype=self.out_dtype)
-        for block_start in range(0, catalog_size, self.batch_size):
-            rows = reprs[block_start : block_start + self.batch_size]
-            scores[block_start : block_start + len(rows)] = self._score_rows(
-                np.repeat(invariant, len(rows), axis=0),
-                np.repeat(user_repr, len(rows), axis=0),
-                rows,
+        if mode == "ivf":
+            index = self.ann_index()
+            probes = min(
+                nprobe if nprobe is not None else self.nprobe, index.nlist
             )
+            probe_start = time.perf_counter()
+            slots = self._probe(index, invariant, user_repr, probes)
+            scores = self._score_user_rows(invariant, user_repr, reprs, slots)
+            probe_seconds = time.perf_counter() - probe_start
+            self.metrics.inc("serve.ann_probes")
+            self.metrics.observe("serve.ann_candidates", float(len(slots)))
+            self._emit(
+                "serve_ann_probe",
+                user=user_id, k=k, nprobe=probes, nlist=index.nlist,
+                candidates=len(slots), catalog=catalog_size,
+                seconds=probe_seconds,
+            )
+        else:
+            slots = None
+            scores = self._score_user_rows(invariant, user_repr, reprs)
         if exclude_items:
-            for item_id in exclude_items:
-                slot = self.items.slots.get(item_id)
-                if slot is not None:
-                    scores[slot] = -np.inf
+            positions = self.items.slots
+            if slots is not None:
+                for item_id in exclude_items:
+                    slot = positions.get(item_id)
+                    if slot is not None:
+                        at = np.searchsorted(slots, slot)
+                        if at < len(slots) and slots[at] == slot:
+                            scores[at] = -np.inf
+            else:
+                for item_id in exclude_items:
+                    slot = positions.get(item_id)
+                    if slot is not None:
+                        scores[slot] = -np.inf
         ranked = min(k, int(np.isfinite(scores).sum()))
-        if ranked == 0:
-            return []
-        top = np.argpartition(-scores, ranked - 1)[:ranked]
-        top = top[np.lexsort((top, -scores[top]))]
         seconds = time.perf_counter() - start
         self.metrics.observe("serve.recommend_seconds", seconds)
         if seconds > 0:
@@ -316,8 +561,18 @@ class InferenceEngine:
         self._emit(
             "serve_recommend",
             user=user_id, k=k, catalog=catalog_size, seconds=seconds,
+            retrieval=mode,
         )
+        if ranked == 0:
+            return []
+        top = np.argpartition(-scores, ranked - 1)[:ranked]
+        # Exact ordering pass; ties break toward the lower catalog slot.
+        tie_break = top if slots is None else slots[top]
+        top = top[np.lexsort((tie_break, -scores[top]))]
         return [
-            Recommendation(self.items.item_ids[slot], float(scores[slot]))
+            Recommendation(
+                self.items.item_ids[slot if slots is None else slots[slot]],
+                float(scores[slot]),
+            )
             for slot in top
         ]

@@ -53,9 +53,14 @@ class ItemIndex:
             else sorted(store.dataset.target.items)
         )
         self.slots = {item_id: slot for slot, item_id in enumerate(self.item_ids)}
+        #: Fallback row shape/dtype for the zero-encoded-slots paths; actual
+        #: encoder output (once seen) takes precedence in `_row_template`.
+        self.dim = int(model.item_extractor.output_dim)
+        self.dtype = np.dtype(model.config.dtype)
         self._reprs: np.ndarray | None = None
         self._valid = np.zeros(len(self.item_ids), dtype=bool)
         self._overflow: dict[str, np.ndarray] = {}
+        self._version = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -68,6 +73,15 @@ class ItemIndex:
     def encoded_count(self) -> int:
         """Catalog slots encoded so far (overflow items not counted)."""
         return int(self._valid.sum())
+
+    @property
+    def version(self) -> int:
+        """Bumped whenever catalog rows change (encodes or invalidation).
+
+        Derived structures (the ANN retriever) key their caches on this so
+        a stale coarse index is rebuilt before its next query.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     def _encode_docs(self, docs: np.ndarray) -> np.ndarray:
@@ -87,6 +101,7 @@ class ItemIndex:
             )
         self._reprs[slots] = reprs
         self._valid[slots] = True
+        self._version += 1
         self.metrics.inc("serve.items_encoded", len(slots))
 
     def ensure(self, item_ids: Iterable[str]) -> None:
@@ -121,7 +136,38 @@ class ItemIndex:
             self.metrics.observe(
                 "serve.index_build_seconds", time.perf_counter() - start
             )
+        elif self._reprs is None:
+            # Empty catalog (or one invalidated down to nothing to encode):
+            # materialize an explicit (0, d) matrix in the configured compute
+            # dtype instead of leaving the lazy None in place.
+            dim, dtype = self._row_template()
+            self._reprs = np.zeros((len(self.item_ids), dim), dtype=dtype)
         return self.reprs
+
+    def invalidate(self, item_ids: Iterable[str] | None = None) -> int:
+        """Mark rows stale so the next access re-encodes them.
+
+        Call after item documents change (new reviews, catalog refresh).
+        With ``item_ids`` omitted, the whole catalog and the overflow table
+        are dropped. Returns the number of rows invalidated; bumps
+        :attr:`version` when anything was.
+        """
+        if item_ids is None:
+            dropped = int(self._valid.sum()) + len(self._overflow)
+            self._valid[:] = False
+            self._overflow.clear()
+        else:
+            dropped = 0
+            for item_id in item_ids:
+                slot = self.slots.get(item_id)
+                if slot is not None and self._valid[slot]:
+                    self._valid[slot] = False
+                    dropped += 1
+                elif self._overflow.pop(item_id, None) is not None:
+                    dropped += 1
+        if dropped:
+            self._version += 1
+        return dropped
 
     @property
     def reprs(self) -> np.ndarray:
@@ -130,14 +176,22 @@ class ItemIndex:
             return self.build()
         return self._reprs
 
+    def _row_template(self) -> tuple[int, np.dtype]:
+        """Width/dtype of a representation row. Prefers what the encoder
+        actually produced; with zero encoded slots *and* an empty overflow
+        table it falls back to the configured compute dtype explicitly."""
+        if self._reprs is not None:
+            return self._reprs.shape[1], self._reprs.dtype
+        if self._overflow:
+            first = next(iter(self._overflow.values()))
+            return first.shape[-1], first.dtype
+        return self.dim, self.dtype
+
     def rows(self, item_ids: Sequence[str]) -> np.ndarray:
         """Representation rows for ``item_ids`` (encoding misses first)."""
         self.ensure(item_ids)
-        reference = (
-            self._reprs if self._reprs is not None
-            else next(iter(self._overflow.values()))
-        )
-        out = np.empty((len(item_ids), reference.shape[-1]), reference.dtype)
+        dim, dtype = self._row_template()
+        out = np.empty((len(item_ids), dim), dtype)
         for position, item_id in enumerate(item_ids):
             slot = self.slots.get(item_id)
             out[position] = (

@@ -1,0 +1,96 @@
+"""Int8 symmetric quantization of the item-representation matrix.
+
+The ANN routing structures (``repro.serve.ann``) never need the full
+float32 precision of the item representations: coarse k-means assignment
+only has to put each item into the *right neighborhood*, and the exact
+rating-head re-rank downstream corrects any residual error. Storing the
+routing copy of the ``(n_items, d)`` matrix as int8 with one float32 scale
+per dimension cuts its memory ~4x, which is the difference between an
+in-RAM index and paging at 10^7 items.
+
+Scheme: symmetric per-dimension linear quantization.  For each dimension
+``j``, ``scale[j] = max(|X[:, j]|) / 127`` and
+``code[i, j] = round(X[i, j] / scale[j])`` clipped to ``[-127, 127]``
+(-128 is unused so the code book is symmetric and ``-x`` quantizes to
+``-q(x)``).  All-zero dimensions get scale 1.0 so dequantization is exact
+there.
+
+The routing GEMM never materializes the dequantized matrix: for
+``X_hat @ W`` with ``X_hat = codes * scale`` (row-wise per-dimension), the
+scale folds into the *small* operand — ``codes @ (scale[:, None] * W)`` —
+so the only transient is the per-block int8 -> float32 cast. That is the
+"dequant fused into the routing GEMM" the build path relies on; cluster
+statistics that need raw rows use :meth:`QuantizedMatrix.dequantize` over
+bounded blocks instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["QuantizedMatrix"]
+
+#: Symmetric int8 code range ([-127, 127]; -128 stays unused).
+_QMAX = 127.0
+
+
+class QuantizedMatrix:
+    """Symmetric per-dimension int8 view of a float matrix."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+        self.shape = matrix.shape
+        self.dtype = matrix.dtype if matrix.dtype.kind == "f" else np.dtype(np.float32)
+        peak = (
+            np.max(np.abs(matrix), axis=0)
+            if len(matrix)
+            else np.zeros(matrix.shape[1], dtype=self.dtype)
+        )
+        scale = peak / _QMAX
+        # All-zero dimensions carry no information; scale 1.0 keeps the
+        # dequantized column exactly zero instead of dividing by zero.
+        scale = np.where(scale > 0, scale, 1.0).astype(self.dtype)
+        self.scale = scale
+        self.codes = np.clip(
+            np.rint(matrix / scale), -_QMAX, _QMAX
+        ).astype(np.int8)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the quantized store (codes + scales)."""
+        return self.codes.nbytes + self.scale.nbytes
+
+    # ------------------------------------------------------------------
+    def dequantize(self, rows: np.ndarray | slice | None = None) -> np.ndarray:
+        """Reconstructed float rows (``codes * scale``), full or a block."""
+        codes = self.codes if rows is None else self.codes[rows]
+        return codes.astype(self.dtype) * self.scale
+
+    def matmul(self, operand: np.ndarray, block: int = 8192) -> np.ndarray:
+        """``dequantize() @ operand`` without materializing the dequantized
+        matrix: the per-dimension scale folds into ``operand`` once, and the
+        int8 codes are cast to float one ``block`` of rows at a time.
+        """
+        operand = np.asarray(operand)
+        if operand.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"operand rows {operand.shape[0]} != matrix dim {self.shape[1]}"
+            )
+        if block < 1:
+            raise ValueError("block must be >= 1")
+        fused = self.scale[:, None] * operand.astype(self.dtype, copy=False)
+        out = np.empty((self.shape[0],) + operand.shape[1:], dtype=self.dtype)
+        for start in range(0, self.shape[0], block):
+            chunk = self.codes[start : start + block].astype(self.dtype)
+            out[start : start + len(chunk)] = chunk @ fused
+        return out
+
+    def max_abs_error(self) -> float:
+        """Worst-case per-element reconstruction error bound (scale / 2)."""
+        return float(self.scale.max() / 2.0)

@@ -1,0 +1,118 @@
+"""scale_target_catalog + DocumentStore.with_dataset: post-training growth."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DocumentStore,
+    GeneratorConfig,
+    cold_start_split,
+    generate_domain_pair,
+    scale_target_catalog,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = generate_domain_pair(
+        "books",
+        "movies",
+        GeneratorConfig(num_users=40, num_items_per_domain=20,
+                        reviews_per_user_mean=4.0, seed=5),
+    )
+    return dataset, cold_start_split(dataset, seed=1)
+
+
+class TestScaleTargetCatalog:
+    def test_grows_only_the_target_catalog(self, world):
+        dataset, split = world
+        grown = scale_target_catalog(dataset, 50, seed=2)
+        assert len(grown.target.items) == len(dataset.target.items) + 50
+        assert grown.source is dataset.source
+        assert grown.metadata["scaled_items"] == 50
+
+    def test_new_reviewers_are_disjoint_from_original_users(self, world):
+        dataset, split = world
+        grown = scale_target_catalog(dataset, 30, seed=2)
+        new_reviews = grown.target.reviews[len(dataset.target.reviews):]
+        new_users = {r.user_id for r in new_reviews}
+        original = dataset.source.users | dataset.target.users
+        assert new_users.isdisjoint(original)
+        assert new_users.isdisjoint(split.cold_users)
+
+    def test_original_dataset_and_split_untouched(self, world):
+        dataset, split = world
+        before = list(dataset.target.reviews)
+        scale_target_catalog(dataset, 25, seed=3)
+        assert dataset.target.reviews == before
+        assert cold_start_split(dataset, seed=1).cold_users == split.cold_users
+
+    def test_deterministic_per_seed(self, world):
+        dataset, _ = world
+        a = scale_target_catalog(dataset, 20, seed=4)
+        b = scale_target_catalog(dataset, 20, seed=4)
+        c = scale_target_catalog(dataset, 20, seed=5)
+        assert [r.summary for r in a.target.reviews] == [
+            r.summary for r in b.target.reviews
+        ]
+        assert [r.summary for r in a.target.reviews] != [
+            r.summary for r in c.target.reviews
+        ]
+
+    def test_every_new_item_has_reviews(self, world):
+        dataset, _ = world
+        grown = scale_target_catalog(dataset, 15, reviews_per_item=3, seed=0)
+        new_items = grown.target.items - dataset.target.items
+        assert len(new_items) == 15
+        for item_id in new_items:
+            assert len(grown.target.reviews_of_item(item_id)) == 3
+
+    def test_summaries_use_known_lexicons(self, world):
+        # Word choice is vectorized over rectangular lexicon tables; make
+        # sure nothing leaks outside the generator's vocabulary universe.
+        from repro.data.synthetic import DOMAIN_WORDS, SENTIMENT, TOPICS
+
+        dataset, _ = world
+        grown = scale_target_catalog(dataset, 10, seed=7)
+        lexicon = set(DOMAIN_WORDS[grown.target.name])
+        for words in TOPICS.values():
+            lexicon.update(words)
+        for words in SENTIMENT.values():
+            lexicon.update(words)
+        for review in grown.target.reviews[len(dataset.target.reviews):]:
+            assert set(review.summary.split()) <= lexicon
+
+    def test_zero_and_invalid_args(self, world):
+        dataset, _ = world
+        assert scale_target_catalog(dataset, 0) is dataset
+        with pytest.raises(ValueError, match="extra_items"):
+            scale_target_catalog(dataset, -1)
+        with pytest.raises(ValueError, match="reviews_per_item"):
+            scale_target_catalog(dataset, 5, reviews_per_item=0)
+
+
+class TestWithDataset:
+    def test_frozen_vocab_and_identical_old_docs(self, world):
+        dataset, split = world
+        store = DocumentStore(dataset, split, doc_len=24, vocab_size=300)
+        grown = scale_target_catalog(dataset, 40, seed=2)
+        rebuilt = store.with_dataset(grown)
+        assert rebuilt.vocab is store.vocab
+        for item_id in sorted(dataset.target.items)[:5]:
+            np.testing.assert_array_equal(
+                rebuilt.item_doc(item_id), store.item_doc(item_id)
+            )
+        for user_id in split.train_users[:3]:
+            np.testing.assert_array_equal(
+                rebuilt.user_target_doc(user_id), store.user_target_doc(user_id)
+            )
+
+    def test_new_items_encode_through_old_vocab(self, world):
+        dataset, split = world
+        store = DocumentStore(dataset, split, doc_len=24, vocab_size=300)
+        grown = scale_target_catalog(dataset, 40, seed=2)
+        rebuilt = store.with_dataset(grown)
+        new_item = sorted(grown.target.items - dataset.target.items)[0]
+        doc = rebuilt.item_doc(new_item)
+        assert doc.shape == (24,)
+        assert doc.max() < len(store.vocab)

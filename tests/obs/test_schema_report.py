@@ -177,3 +177,37 @@ class TestReport:
         text = render_report(load_run_events(tmp_path))
         assert "eval-only" in text
         assert "trial 0" in text
+
+    def write_ann_run(self, directory):
+        with TelemetrySink(directory, run_id="ann-test") as sink:
+            sink.emit("serve_ann_build", items=1000, nlist=32, iters=5,
+                      store="int8", seconds=0.4, store_bytes=256_000,
+                      float32_bytes=1_024_000)
+            for user in ("U1", "U2"):
+                sink.emit("serve_ann_probe", user=user, k=10, nprobe=4,
+                          nlist=32, candidates=125, catalog=1000,
+                          seconds=0.002)
+            sink.emit("serve_ann_recall", users=2, k=10, recall=0.95,
+                      nprobe=4)
+        return directory / "run.jsonl"
+
+    def test_summarize_ann_events(self, tmp_path):
+        path = self.write_ann_run(tmp_path)
+        validate_run_file(path)
+        ann = summarize_run(load_run_events(path))["ann"]
+        assert ann["builds"] == 1
+        assert ann["nlist"] == 32
+        assert ann["store"] == "int8"
+        assert ann["probes"] == 2
+        assert ann["candidates"] == 250
+        assert ann["scan_fraction"] == pytest.approx(0.125)
+        assert ann["probe_p50"] == pytest.approx(0.002)
+        assert ann["recall"] == pytest.approx(0.95)
+
+    def test_render_report_ann_section(self, tmp_path):
+        text = render_report(load_run_events(self.write_ann_run(tmp_path)))
+        assert "ann retrieval (1 index builds, 2 probes)" in text
+        assert "nlist 32" in text
+        assert "4.0x vs float32" in text
+        assert "12.5% scanned" in text
+        assert "recall@10: 0.950" in text

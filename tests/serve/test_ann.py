@@ -1,0 +1,116 @@
+"""IVFIndex: deterministic k-means build, inverted lists, probe unions."""
+
+import numpy as np
+import pytest
+
+from repro.serve import IVFIndex, default_nlist
+
+
+def clustered_matrix(n=200, d=8, clusters=5, seed=0):
+    """Points around well-separated centers, so k-means has real structure."""
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((clusters, d)) * 10.0
+    assign = rng.integers(0, clusters, size=n)
+    return (centers[assign] + 0.3 * rng.standard_normal((n, d))).astype(np.float32)
+
+
+class TestBuild:
+    def test_same_seed_same_index(self):
+        reprs = clustered_matrix()
+        a = IVFIndex(reprs, nlist=5, seed=11)
+        b = IVFIndex(reprs, nlist=5, seed=11)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+        np.testing.assert_array_equal(a.assignments, b.assignments)
+        for la, lb in zip(a.lists, b.lists):
+            np.testing.assert_array_equal(la, lb)
+
+    def test_lists_partition_all_slots(self):
+        reprs = clustered_matrix(n=123)
+        index = IVFIndex(reprs, nlist=7, seed=1)
+        gathered = np.sort(np.concatenate(index.lists))
+        np.testing.assert_array_equal(gathered, np.arange(123))
+
+    def test_assignment_is_nearest_centroid(self):
+        reprs = clustered_matrix()
+        index = IVFIndex(reprs, nlist=5, seed=2)
+        d2 = ((reprs[:, None, :] - index.centroids[None, :, :]) ** 2).sum(axis=2)
+        # argmin with ties toward the lower centroid id, same as the build.
+        np.testing.assert_array_equal(index.assignments, np.argmin(d2, axis=1))
+
+    def test_nlist_clamped_to_catalog(self):
+        reprs = clustered_matrix(n=4)
+        index = IVFIndex(reprs, nlist=100, seed=0)
+        assert index.nlist == 4
+
+    def test_empty_matrix(self):
+        index = IVFIndex(np.zeros((0, 6), dtype=np.float32))
+        assert index.nlist == 0
+        assert len(index) == 0
+        assert index.candidate_slots([], nprobe=3).shape == (0,)
+
+    def test_identical_points_collapse(self):
+        # Degenerate catalog (e.g. all-cold items with identical all-padding
+        # documents): every D^2 weight is zero, but the build must still
+        # terminate and keep every slot reachable.
+        reprs = np.ones((30, 4), dtype=np.float32)
+        index = IVFIndex(reprs, nlist=4, seed=3)
+        gathered = np.sort(np.concatenate(index.lists))
+        np.testing.assert_array_equal(gathered, np.arange(30))
+
+    def test_build_stats(self):
+        reprs = clustered_matrix()
+        index = IVFIndex(reprs, nlist=5, seed=0, store="int8")
+        stats = index.stats
+        assert stats.items == 200 and stats.nlist == 5
+        assert stats.store == "int8"
+        assert stats.float32_bytes == reprs.nbytes
+        assert stats.float32_bytes / stats.store_bytes >= 3.5
+        assert 1 <= stats.iters_run <= 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            IVFIndex(np.zeros(3, dtype=np.float32))
+        with pytest.raises(ValueError, match="store"):
+            IVFIndex(clustered_matrix(), store="int4")
+        with pytest.raises(ValueError, match="iters"):
+            IVFIndex(clustered_matrix(), iters=0)
+
+
+class TestInt8Routing:
+    def test_int8_assignments_match_float32_on_separated_clusters(self):
+        # Quantization error is far below the cluster separation here, so
+        # routing must put every point in the same cell either way.
+        reprs = clustered_matrix(seed=7)
+        a = IVFIndex(reprs, nlist=5, seed=5, store="float32")
+        b = IVFIndex(reprs, nlist=5, seed=5, store="int8")
+        same = np.mean(a.assignments == b.assignments)
+        assert same >= 0.95
+
+
+class TestCandidateSlots:
+    def test_union_is_sorted_and_deduplicated_sizes(self):
+        reprs = clustered_matrix(n=80)
+        index = IVFIndex(reprs, nlist=6, seed=4)
+        order = np.arange(index.nlist)
+        probed = index.candidate_slots(order, nprobe=2)
+        assert np.all(np.diff(probed) > 0)  # strictly ascending, no dupes
+        expected = np.sort(np.concatenate([index.lists[0], index.lists[1]]))
+        np.testing.assert_array_equal(probed, expected)
+
+    def test_nprobe_at_least_nlist_covers_catalog(self):
+        reprs = clustered_matrix(n=60)
+        index = IVFIndex(reprs, nlist=5, seed=6)
+        slots = index.candidate_slots(np.arange(5), nprobe=999)
+        np.testing.assert_array_equal(slots, np.arange(60))
+
+    def test_nprobe_must_be_positive(self):
+        index = IVFIndex(clustered_matrix(n=20), nlist=3, seed=0)
+        with pytest.raises(ValueError, match="nprobe"):
+            index.candidate_slots([0], nprobe=0)
+
+
+def test_default_nlist_heuristic():
+    assert default_nlist(0) == 0 or default_nlist(0) == 1  # clamped later anyway
+    assert default_nlist(100) == 10
+    assert default_nlist(1) == 1
+    assert default_nlist(10**6) == 1000

@@ -73,3 +73,62 @@ class TestOverflow:
         index = make_index(trained, catalog=catalog)
         assert len(index) == 4
         assert catalog[-1] in index
+
+
+class TestEmptyAndDtype:
+    def test_empty_catalog_builds_explicit_typed_matrix(self, trained):
+        # Regression: with zero slots and an empty overflow table the lazy
+        # None used to leak; the build must hand back a concrete (0, d)
+        # matrix in the configured compute dtype.
+        index = make_index(trained, catalog=[])
+        reprs = index.build()
+        assert reprs.shape == (0, index.dim)
+        assert reprs.dtype == np.dtype(trained.model.config.dtype)
+        assert index.reprs.shape == (0, index.dim)
+
+    def test_rows_on_fresh_index_use_configured_dtype(self, trained):
+        index = make_index(trained, catalog=[])
+        rows = index.rows([])
+        assert rows.shape == (0, index.dim)
+        assert rows.dtype == index.dtype
+
+    def test_template_prefers_encoder_output(self, trained):
+        index = make_index(trained)
+        index.build()
+        dim, dtype = index._row_template()
+        assert (dim, dtype) == (index._reprs.shape[1], index._reprs.dtype)
+
+
+class TestInvalidation:
+    def test_invalidate_all_forces_reencode(self, trained):
+        index = make_index(trained)
+        first = index.build().copy()
+        version = index.version
+        assert index.invalidate() == len(index)
+        assert index.version > version
+        assert index.encoded_count == 0
+        np.testing.assert_array_equal(index.build(), first)  # deterministic
+
+    def test_invalidate_subset_and_overflow(self, trained):
+        index = make_index(trained)
+        index.build()
+        index.rows(["ghost-item"])
+        encoded = index.metrics.counter("serve.items_encoded")
+        targets = [index.item_ids[1], "ghost-item", "never-seen"]
+        assert index.invalidate(targets) == 2  # never-seen drops nothing
+        index.build()
+        index.rows(["ghost-item"])
+        assert index.metrics.counter("serve.items_encoded") == encoded + 2
+
+    def test_invalidate_nothing_keeps_version(self, trained):
+        index = make_index(trained)
+        index.build()
+        version = index.version
+        assert index.invalidate(["no-such-item"]) == 0
+        assert index.version == version
+
+    def test_version_tracks_encodes(self, trained):
+        index = make_index(trained)
+        start = index.version
+        index.ensure(index.item_ids[:2])
+        assert index.version > start

@@ -1,0 +1,78 @@
+"""QuantizedMatrix: symmetric int8 storage with fused-dequant GEMM."""
+
+import numpy as np
+import pytest
+
+from repro.serve import QuantizedMatrix
+
+
+def random_matrix(n=64, d=12, seed=0, dtype=np.float32):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal((n, d)) * rng.uniform(0.1, 5.0, size=d)).astype(dtype)
+
+
+class TestQuantization:
+    def test_roundtrip_error_bounded_by_half_scale(self):
+        matrix = random_matrix()
+        q = QuantizedMatrix(matrix)
+        error = np.abs(q.dequantize() - matrix)
+        # Per-dimension bound: rounding error is at most scale[j] / 2.
+        assert np.all(error <= q.scale / 2.0 + 1e-7)
+        assert error.max() <= q.max_abs_error() + 1e-7
+
+    def test_codes_are_symmetric_int8(self):
+        matrix = random_matrix()
+        q_pos = QuantizedMatrix(matrix)
+        q_neg = QuantizedMatrix(-matrix)
+        assert q_pos.codes.dtype == np.int8
+        # [-127, 127] with -128 unused, so q(-x) == -q(x) exactly.
+        np.testing.assert_array_equal(q_neg.codes, -q_pos.codes)
+        assert q_pos.codes.min() >= -127
+
+    def test_zero_columns_dequantize_exactly(self):
+        matrix = random_matrix()
+        matrix[:, 3] = 0.0
+        q = QuantizedMatrix(matrix)
+        assert q.scale[3] == 1.0
+        np.testing.assert_array_equal(q.dequantize()[:, 3], 0.0)
+
+    def test_memory_ratio_near_4x(self):
+        matrix = random_matrix(n=256, d=32)
+        q = QuantizedMatrix(matrix)
+        assert matrix.nbytes / q.nbytes >= 3.5
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            QuantizedMatrix(np.zeros(5, dtype=np.float32))
+
+    def test_empty_matrix(self):
+        q = QuantizedMatrix(np.zeros((0, 4), dtype=np.float32))
+        assert q.codes.shape == (0, 4)
+        assert q.dequantize().shape == (0, 4)
+
+
+class TestFusedMatmul:
+    def test_matches_dequantize_then_matmul(self):
+        matrix = random_matrix(n=100, d=16, seed=3)
+        q = QuantizedMatrix(matrix)
+        operand = random_matrix(n=16, d=7, seed=4)
+        fused = q.matmul(operand, block=32)
+        reference = q.dequantize() @ operand
+        # Fused folds the scale into the operand, so association differs:
+        # allclose, not bitwise equality, is the contract.
+        np.testing.assert_allclose(fused, reference, rtol=1e-5, atol=1e-5)
+
+    def test_blocking_does_not_change_results(self):
+        matrix = random_matrix(n=50, d=8, seed=5)
+        q = QuantizedMatrix(matrix)
+        operand = random_matrix(n=8, d=3, seed=6)
+        np.testing.assert_array_equal(
+            q.matmul(operand, block=7), q.matmul(operand, block=1000)
+        )
+
+    def test_shape_validation(self):
+        q = QuantizedMatrix(random_matrix(n=10, d=4))
+        with pytest.raises(ValueError, match="operand rows"):
+            q.matmul(np.zeros((5, 2), dtype=np.float32))
+        with pytest.raises(ValueError, match="block"):
+            q.matmul(np.zeros((4, 2), dtype=np.float32), block=0)

@@ -93,6 +93,25 @@ class TestParser:
         assert args.k == 10
         assert args.epochs == 8
         assert args.telemetry is None
+        assert args.retrieval == "exact"
+        assert args.nlist is None and args.nprobe is None
+        assert args.ann_store == "float32"
+        assert args.exclude_seen is False
+
+    def test_recommend_parses_retrieval_flags(self):
+        args = build_parser().parse_args([
+            "recommend", "--retrieval", "ivf", "--nlist", "64",
+            "--nprobe", "4", "--ann-store", "int8", "--exclude-seen",
+        ])
+        assert args.retrieval == "ivf"
+        assert args.nlist == 64
+        assert args.nprobe == 4
+        assert args.ann_store == "int8"
+        assert args.exclude_seen is True
+
+    def test_recommend_rejects_unknown_retrieval(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recommend", "--retrieval", "annoy"])
 
     def test_bench_parses(self):
         args = build_parser().parse_args([
@@ -172,6 +191,22 @@ class TestCommands:
         assert "expected rating" in out
         assert "cache:" in out
         assert (telemetry / "run.jsonl").exists()
+
+    def test_recommend_ivf_with_exclusion(self, tmp_path, capsys):
+        telemetry = tmp_path / "ann-obs"
+        assert main([
+            "recommend", "--epochs", "1", "--k", "3",
+            "--retrieval", "ivf", "--nlist", "8", "--nprobe", "8",
+            "--exclude-seen", "--telemetry", str(telemetry),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ivf retrieval" in out
+        assert "ivf: nlist=8" in out
+        from repro.obs.schema import validate_run_file
+
+        census = validate_run_file(telemetry / "run.jsonl")
+        assert census["kinds"].get("serve_ann_build") == 1
+        assert census["kinds"].get("serve_ann_probe", 0) >= 1
 
     def test_bench_prints_table(self, capsys):
         assert main([
