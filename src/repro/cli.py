@@ -28,6 +28,14 @@ Commands
     Summarize a telemetry file (``run.jsonl``) written by a run with
     ``--telemetry``: phase time breakdown, health events, final metrics.
     Also accepts a directory of per-worker shards from a parallel run.
+``serve``
+    Train briefly, then run the resilient serving daemon — a supervised
+    multi-worker fleet sharding the catalog behind a JSON-lines socket,
+    with deadlines, retries, load shedding and graceful degradation.
+``loadtest``
+    Start a daemon, drive it with zipf-skewed traffic (optionally killing
+    workers mid-traffic), verify every completed response bit-exactly
+    against a single-process engine, and print the outcome census.
 """
 
 from __future__ import annotations
@@ -178,6 +186,49 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("path", help="run.jsonl file, or a directory containing one")
     report.add_argument("--validate", action="store_true",
                         help="schema-check every event before summarizing")
+
+    def add_daemon_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--epochs", type=int, default=8)
+        p.add_argument("--workers", type=int, default=2,
+                       help="serving worker processes (catalog shards)")
+        p.add_argument("--retrieval", choices=("exact", "ivf"), default="exact")
+        p.add_argument("--nprobe", type=int, default=None, metavar="N")
+        p.add_argument("--max-batch", type=int, default=8,
+                       help="micro-batch size cap")
+        p.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="micro-batch max delay budget")
+        p.add_argument("--queue-limit", type=int, default=64,
+                       help="queued requests beyond this are shed")
+        p.add_argument("--deadline-ms", type=float, default=None,
+                       help="default per-request deadline")
+        p.add_argument("--telemetry", default=None, metavar="DIR",
+                       help="write daemon + worker telemetry shards, merged "
+                            "into DIR/run.jsonl on shutdown")
+
+    serve = sub.add_parser(
+        "serve", help="train briefly, then run the serving daemon"
+    )
+    add_scenario_args(serve)
+    add_daemon_args(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (0 binds an ephemeral port)")
+
+    loadtest = sub.add_parser(
+        "loadtest", help="drive a daemon with verified zipf traffic"
+    )
+    add_scenario_args(loadtest)
+    add_daemon_args(loadtest)
+    loadtest.add_argument("--requests", type=int, default=200)
+    loadtest.add_argument("--concurrency", type=int, default=4)
+    loadtest.add_argument("--k", type=int, default=5)
+    loadtest.add_argument("--zipf-s", type=float, default=1.1,
+                          help="user-popularity skew exponent")
+    loadtest.add_argument("--kill-at", default=None, metavar="IDX:SLOT,...",
+                          help="chaos plan: kill worker SLOT right before "
+                               "request IDX (comma-separated pairs)")
+    loadtest.add_argument("--no-verify", action="store_true",
+                          help="skip the bit-exact reference comparison")
     return parser
 
 
@@ -373,6 +424,127 @@ def _cmd_case_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _train_for_serving(args: argparse.Namespace):
+    dataset = generate_scenario(args.dataset, args.source, args.target)
+    split = cold_start_split(dataset, seed=args.seed)
+    config = OmniMatchConfig(epochs=args.epochs, seed=args.seed)
+    return OmniMatchTrainer(dataset, split, config).fit(), dataset, split
+
+
+def _daemon_config_from_args(args: argparse.Namespace):
+    from .serve import DaemonConfig
+
+    return DaemonConfig(
+        host=getattr(args, "host", "127.0.0.1"),
+        port=getattr(args, "port", 0),
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        queue_limit=args.queue_limit,
+        default_deadline_ms=args.deadline_ms,
+        retrieval=args.retrieval,
+        nprobe=args.nprobe,
+        telemetry_dir=args.telemetry,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import RecommendDaemon
+
+    result, dataset, _ = _train_for_serving(args)
+    daemon = RecommendDaemon(result, _daemon_config_from_args(args))
+    daemon.start()
+    if not daemon.wait_ready():
+        daemon.stop()
+        raise SystemExit("daemon workers failed to become ready")
+    print(f"serving {dataset.scenario} on {daemon.config.host}:{daemon.port} "
+          f"({args.workers} workers, catalog {len(daemon.item_ids)})")
+    print("ops: recommend, score, warm, health, ready, stats — "
+          "one JSON object per line; Ctrl-C to stop")
+    try:
+        while True:
+            import time as _time
+
+            _time.sleep(1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stats = daemon.stop()
+        print(f"stopped: {stats['received']} requests, "
+              f"{stats['completed']} ok, {stats['shed']} shed, "
+              f"{stats['errors']} errors, {stats['deaths']} worker deaths")
+        if args.telemetry:
+            print(f"telemetry merged into {args.telemetry}/run.jsonl")
+    return 0
+
+
+def _parse_kill_plan(spec: str | None) -> dict[int, int]:
+    if not spec:
+        return {}
+    plan: dict[int, int] = {}
+    for chunk in spec.split(","):
+        index, sep, slot = chunk.strip().partition(":")
+        if not sep:
+            raise SystemExit(f"bad --kill-at entry {chunk!r}; expected IDX:SLOT")
+        plan[int(index)] = int(slot)
+    return plan
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from .serve import InferenceEngine, RecommendDaemon
+    from .serve.loadtest import LoadTestConfig, run_loadtest
+
+    result, dataset, split = _train_for_serving(args)
+    daemon = RecommendDaemon(result, _daemon_config_from_args(args))
+    daemon.start()
+    if not daemon.wait_ready():
+        daemon.stop()
+        raise SystemExit("daemon workers failed to become ready")
+    reference = None
+    if not args.no_verify:
+        reference = InferenceEngine(result, nprobe=args.nprobe)
+    users = sorted(split.test_users) + sorted(split.train_users)
+    items = sorted(dataset.target.items)
+    lt_config = LoadTestConfig(
+        requests=args.requests,
+        concurrency=args.concurrency,
+        k=args.k,
+        zipf_s=args.zipf_s,
+        deadline_ms=args.deadline_ms,
+        seed=args.seed,
+    )
+    try:
+        outcome = run_loadtest(
+            daemon, users, items,
+            reference=reference, config=lt_config,
+            kill_at=_parse_kill_plan(args.kill_at),
+        )
+    finally:
+        stats = daemon.stop()
+    summary = outcome.summary()
+    print(f"loadtest {dataset.scenario}: {summary['sent']} requests "
+          f"({args.concurrency} clients, zipf s={args.zipf_s})")
+    print(f"  ok {summary['ok']}  shed {summary['shed']}  "
+          f"timeouts {summary['timeouts']}  errors {summary['errors']}  "
+          f"client timeouts {summary['client_timeouts']}")
+    print(f"  latency p50 {summary['latency_p50_ms']:.1f}ms  "
+          f"p99 {summary['latency_p99_ms']:.1f}ms  "
+          f"throughput {summary['requests_per_sec']:.0f} req/s")
+    if outcome.recoveries:
+        print(f"  recovery after kill: max {summary['recovery_max_s']:.2f}s "
+              f"over {len(outcome.recoveries)} kill(s) "
+              f"({stats['deaths']} deaths healed)")
+    if reference is not None:
+        verdict = ("all completed responses bit-identical to the "
+                   "single-process engine"
+                   if not outcome.mismatches
+                   else f"{len(outcome.mismatches)} MISMATCHED response(s)")
+        print(f"  verification: {verdict}")
+    if args.telemetry:
+        print(f"telemetry merged into {args.telemetry}/run.jsonl")
+    return 1 if outcome.mismatches else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     if args.validate:
         from pathlib import Path
@@ -417,4 +589,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_recommend(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
     raise AssertionError(f"unhandled command {args.command!r}")

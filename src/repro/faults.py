@@ -40,6 +40,10 @@ __all__ = [
     "NonFiniteLossInjector",
     "NonFiniteGradientInjector",
     "WorkerKillPlan",
+    "ServeKillPlan",
+    "SlowWorkerPlan",
+    "POISON_USER",
+    "poisoned_request",
     "random_crash_point",
     "flip_random_bit",
     "truncate_file",
@@ -199,6 +203,81 @@ class WorkerKillPlan:
         """
         if self.should_kill(task_index, attempt):
             os._exit(self.EXIT_CODE)
+
+
+class ServeKillPlan:
+    """Deterministic serving-worker deaths for the recommendation daemon.
+
+    ``kills`` is a set of ``(worker_slot, generation, batch_index)``
+    coordinates: the worker occupying that slot in that generation dies
+    via ``os._exit`` immediately before handling its ``batch_index``-th
+    request batch. Because respawns bump the generation, the healed worker
+    sails past the same batch count unless the plan also schedules its new
+    generation — so a chaos run exercises death → requeue → recover with a
+    reproducible schedule, mid-traffic.
+    """
+
+    #: Exit code used for injected serving deaths.
+    EXIT_CODE = 118
+
+    def __init__(self, kills: Sequence[tuple[int, int, int]]) -> None:
+        self.kills = frozenset(
+            (int(slot), int(generation), int(batch))
+            for slot, generation, batch in kills
+        )
+
+    def should_kill(self, slot: int, generation: int, batch_index: int) -> bool:
+        """Whether this batch of this worker generation is scheduled to die."""
+        return (slot, generation, batch_index) in self.kills
+
+
+class SlowWorkerPlan:
+    """Deterministic worker stalls (the wedged-but-alive failure mode).
+
+    ``stalls`` maps ``(worker_slot, generation, batch_index)`` to a stall
+    duration in seconds; the worker sleeps that long before handling the
+    batch. The daemon's stall watchdog treats an in-flight batch older
+    than its stall budget as a wedge and SIGKILLs the worker, converting
+    the stall into the already-handled death path.
+    """
+
+    def __init__(self, stalls: dict[tuple[int, int, int], float]) -> None:
+        self.stalls = {
+            (int(slot), int(generation), int(batch)): float(seconds)
+            for (slot, generation, batch), seconds in stalls.items()
+        }
+
+    def stall_seconds(self, slot: int, generation: int, batch_index: int) -> float:
+        """Scheduled stall for this batch (0.0 when none)."""
+        return self.stalls.get((slot, generation, batch_index), 0.0)
+
+    def maybe_stall(self, slot: int, generation: int, batch_index: int) -> None:
+        import time
+
+        seconds = self.stall_seconds(slot, generation, batch_index)
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+#: Sentinel user id that raises inside a serving worker's execution path
+#: (the document store tolerates unknown ids, so the daemon worker checks
+#: for the sentinel explicitly), standing in for any malformed or
+#: internally-poisoned request. The daemon must answer it with an ``error``
+#: response and keep the batch-mates (and the worker) healthy.
+POISON_USER = "__repro_poisoned_user__"
+
+
+def poisoned_request(request_id: int = 0, op: str = "recommend", k: int = 5) -> dict:
+    """A protocol request guaranteed to raise inside a serving worker."""
+    if op == "recommend":
+        return {"id": request_id, "op": "recommend", "user": POISON_USER, "k": k}
+    if op == "score":
+        return {
+            "id": request_id,
+            "op": "score",
+            "pairs": [[POISON_USER, "no-such-item"]],
+        }
+    raise ValueError(f"cannot poison op {op!r}")
 
 
 def random_crash_point(

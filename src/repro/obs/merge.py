@@ -17,6 +17,14 @@ by shard order then position, keeping the merge deterministic.
 The merged file ends with one ``merge`` event (run id ``merge``)
 recording the census, so a report can tell a merged stream from a native
 single-process one.
+
+Crashed workers: a worker killed mid-append (SIGKILL, an injected death,
+a chaos run) leaves a torn final line in its shard. The merge must not
+fail on it — and must not hide it either: the torn tail is dropped with a
+``UserWarning``, and the ``merge`` event carries ``truncated_shards`` and
+``dropped_lines`` so downstream reports can state exactly what telemetry
+was lost. Malformed lines anywhere *else* in a shard are still corruption
+and still raise.
 """
 
 from __future__ import annotations
@@ -25,12 +33,19 @@ import heapq
 import json
 import os
 import time
+import warnings
 from pathlib import Path
 
 from ..atomicio import LineAppender
 from .telemetry import DEFAULT_FILENAME, read_events
 
-__all__ = ["SHARD_GLOB", "find_shards", "merged_events", "merge_shards"]
+__all__ = [
+    "SHARD_GLOB",
+    "find_shards",
+    "merged_events",
+    "merge_shards",
+    "shard_truncation",
+]
 
 #: Shard filenames written by ``repro.parallel.engine`` workers.
 SHARD_GLOB = "run-*.jsonl"
@@ -43,6 +58,25 @@ def find_shards(directory: str | os.PathLike) -> list[Path]:
         path for path in directory.glob(SHARD_GLOB)
         if path.name != DEFAULT_FILENAME
     )
+
+
+def shard_truncation(path: str | os.PathLike) -> int:
+    """Torn trailing lines in a shard's active segment (0 or 1).
+
+    A worker killed mid-append leaves at most one partial line at the end
+    of the file it was writing; :func:`read_events` silently skips it, and
+    this reports whether it did so the merge can account for the loss.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    for line in reversed(lines):
+        if not line.strip():
+            continue
+        try:
+            json.loads(line)
+            return 0
+        except json.JSONDecodeError:
+            return 1
+    return 0
 
 
 def _monotonic_events(path: Path, shard_index: int):
@@ -85,6 +119,14 @@ def merge_shards(
     shards = find_shards(directory)
     output_path = Path(output) if output is not None else directory / DEFAULT_FILENAME
     merged = merged_events(directory)
+    truncated = [path for path in shards if shard_truncation(path)]
+    for path in truncated:
+        warnings.warn(
+            f"{path}: dropped a torn final line (worker died mid-append); "
+            f"its last telemetry event is lost",
+            UserWarning,
+            stacklevel=2,
+        )
 
     output_path.unlink(missing_ok=True)  # re-merge replaces, never appends
     appender = LineAppender(output_path, max_bytes=None)
@@ -100,6 +142,8 @@ def merge_shards(
                     "kind": "merge",
                     "shards": [path.name for path in shards],
                     "events": len(merged),
+                    "truncated_shards": [path.name for path in truncated],
+                    "dropped_lines": len(truncated),
                 },
                 sort_keys=True,
             )

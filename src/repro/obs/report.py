@@ -81,6 +81,23 @@ def summarize_run(events: list[dict]) -> dict:
             "index_items": 0,
             "users_encoded": 0,
         },
+        "daemon": {
+            "started": False,
+            "workers": 0,
+            "catalog": 0,
+            "received": 0,
+            "completed": 0,
+            "shed": 0,
+            "timeouts": 0,
+            "errors": 0,
+            "deaths": 0,
+            "requeues": 0,
+            "stall_kills": 0,
+            "degrades": 0,
+            "max_level": 0,
+            "truncated_shards": [],
+            "dropped_lines": 0,
+        },
         "ann": {
             "builds": 0,
             "nlist": 0,
@@ -192,6 +209,31 @@ def summarize_run(events: list[dict]) -> dict:
         elif kind == "serve_ann_recall":
             summary["ann"]["recall"] = event.get("recall")
             summary["ann"]["recall_k"] = event.get("k")
+        elif kind == "daemon_start":
+            daemon = summary["daemon"]
+            daemon["started"] = True
+            daemon["workers"] = event.get("workers", 0)
+            daemon["catalog"] = event.get("catalog", 0)
+        elif kind == "daemon_worker_death":
+            summary["daemon"]["deaths"] += 1
+            summary["daemon"]["requeues"] += event.get("requeued", 0)
+        elif kind == "daemon_stall_kill":
+            summary["daemon"]["stall_kills"] += 1
+        elif kind == "daemon_degrade":
+            daemon = summary["daemon"]
+            daemon["degrades"] += 1
+            daemon["max_level"] = max(daemon["max_level"], event.get("level", 0))
+        elif kind in ("daemon_stats", "daemon_stop"):
+            # Counters are cumulative: the latest event wins.
+            daemon = summary["daemon"]
+            daemon["started"] = True
+            for key in ("received", "completed", "shed", "timeouts", "errors"):
+                daemon[key] = event.get(key, daemon[key])
+        elif kind == "merge":
+            summary["daemon"]["truncated_shards"] = event.get(
+                "truncated_shards", []
+            )
+            summary["daemon"]["dropped_lines"] = event.get("dropped_lines", 0)
     if summary["seconds"] > 0:
         summary["samples_per_sec"] = summary["samples"] / summary["seconds"]
     serving = summary["serving"]
@@ -356,6 +398,36 @@ def render_report(events: list[dict]) -> str:
             lines.append(
                 f"  measured recall@{ann['recall_k']}: {ann['recall']:.3f}"
             )
+
+    daemon = summary["daemon"]
+    if daemon["started"]:
+        lines.append("")
+        lines.append(
+            f"serving daemon ({daemon['workers']} workers, "
+            f"catalog {daemon['catalog']})"
+        )
+        lines.append(
+            f"  requests {daemon['received']}  ok {daemon['completed']}  "
+            f"shed {daemon['shed']}  timeouts {daemon['timeouts']}  "
+            f"errors {daemon['errors']}"
+        )
+        if daemon["deaths"] or daemon["stall_kills"] or daemon["degrades"]:
+            lines.append(
+                f"  chaos absorbed: deaths {daemon['deaths']} "
+                f"(requeued {daemon['requeues']})  "
+                f"stall kills {daemon['stall_kills']}  "
+                f"degrades {daemon['degrades']} "
+                f"(max level {daemon['max_level']})"
+            )
+    if daemon["dropped_lines"]:
+        shards = ", ".join(daemon["truncated_shards"])
+        prefix = "  " if daemon["started"] else ""
+        if not daemon["started"]:
+            lines.append("")
+        lines.append(
+            f"{prefix}telemetry loss: {daemon['dropped_lines']} torn "
+            f"line(s) dropped from {shards}"
+        )
 
     if summary["checkpoints"]:
         lines.append("")

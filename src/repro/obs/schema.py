@@ -66,6 +66,15 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     "serve_ann_build": ("items", "nlist", "iters", "store", "seconds"),
     "serve_ann_probe": ("user", "k", "nprobe", "candidates", "catalog", "seconds"),
     "serve_ann_recall": ("users", "k", "recall"),
+    # Serving daemon (repro.serve.daemon)
+    "daemon_start": ("workers", "catalog", "port"),
+    "daemon_worker_ready": ("slot", "generation"),
+    "daemon_worker_death": ("slot", "generation", "exitcode", "requeued"),
+    "daemon_requeue": ("job", "slot", "attempt"),
+    "daemon_stall_kill": ("slot", "generation", "age_seconds"),
+    "daemon_degrade": ("level", "previous", "depth"),
+    "daemon_stats": ("received", "completed", "shed", "timeouts", "errors", "depth", "level"),
+    "daemon_stop": ("received", "completed", "shed", "timeouts", "errors", "deaths"),
 }
 
 _BASE_FIELDS = ("seq", "ts", "run", "kind")

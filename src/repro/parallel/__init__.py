@@ -6,7 +6,9 @@ execution. Bulk data — generated datasets and document matrices —
 travels through ``multiprocessing.shared_memory`` segments published
 once by the parent (:mod:`~repro.parallel.shm`,
 :mod:`~repro.parallel.sharing`); supervision, crash recovery and
-telemetry sharding live in :mod:`~repro.parallel.engine`.
+telemetry sharding live in :mod:`~repro.parallel.engine` for finite task
+batches and :mod:`~repro.parallel.supervisor` for long-lived request
+loops (the serving daemon's fleet).
 """
 
 from .engine import ExperimentTask, ParallelExecutionError, run_tasks
@@ -24,10 +26,12 @@ from .shm import (
     ShmPack,
     ShmRef,
     attach,
+    install_signal_cleanup,
     live_segments,
     pack_strings,
     unpack_strings,
 )
+from .supervisor import WorkerDeath, WorkerSupervisor
 
 __all__ = [
     "ExperimentTask",
@@ -44,7 +48,10 @@ __all__ = [
     "ShmPack",
     "AttachedPack",
     "attach",
+    "install_signal_cleanup",
     "live_segments",
     "pack_strings",
     "unpack_strings",
+    "WorkerDeath",
+    "WorkerSupervisor",
 ]

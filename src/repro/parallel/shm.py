@@ -20,7 +20,12 @@ Lifecycle contract
 * Every created segment is recorded in a module-level registry and an
   ``atexit`` hook unlinks leftovers, so even an abnormal parent exit (a
   raised :class:`~repro.parallel.engine.ParallelExecutionError`, a test
-  failure) leaves nothing behind in ``/dev/shm``.
+  failure) leaves nothing behind in ``/dev/shm``. The first
+  :meth:`ShmPack.publish` additionally installs SIGTERM/SIGINT handlers
+  (:func:`install_signal_cleanup`) that run the same sweep before the
+  signal's previous behavior resumes — ``atexit`` never fires for a
+  signal-killed daemon, and a long-lived publisher must not leak on
+  ``kill``.
 
 On Python < 3.13 a child process that merely attaches a segment would
 still register it with its ``resource_tracker``, which then unlinks the
@@ -35,6 +40,8 @@ from __future__ import annotations
 import atexit
 import os
 import secrets
+import signal
+import threading
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -46,6 +53,7 @@ __all__ = [
     "ShmPack",
     "AttachedPack",
     "attach",
+    "install_signal_cleanup",
     "live_segments",
     "pack_strings",
     "unpack_strings",
@@ -76,6 +84,53 @@ def _cleanup_at_exit() -> None:  # pragma: no cover - exercised via subprocess
 
 
 atexit.register(_cleanup_at_exit)
+
+#: Original handlers captured by :func:`install_signal_cleanup`.
+_SIGNAL_PREVIOUS: dict[int, object] = {}
+
+
+def _signal_cleanup_handler(signum, frame) -> None:  # pragma: no cover - subprocess
+    """Unlink live segments, then resume the signal's previous behavior."""
+    _cleanup_at_exit()
+    previous = _SIGNAL_PREVIOUS.get(signum)
+    if callable(previous):
+        previous(signum, frame)
+        return
+    if previous is signal.SIG_IGN:
+        return
+    # SIG_DFL (or unknown): restore the default disposition and re-raise so
+    # the process still dies with the correct termination status.
+    signal.signal(signum, signal.SIG_DFL)
+    os.kill(os.getpid(), signum)
+
+
+def install_signal_cleanup() -> bool:
+    """Unlink live segments on SIGTERM/SIGINT, not just at interpreter exit.
+
+    The ``atexit`` sweep only runs on a *normal* exit; a daemon killed with
+    SIGTERM (the default disposition simply terminates the process) would
+    leak every segment it published into ``/dev/shm``. This installs
+    handlers that run the sweep and then chain to the signal's previous
+    behavior — a prior Python handler is called, ``SIG_DFL`` is restored
+    and the signal re-raised so the exit status stays honest.
+
+    Idempotent. Signal handlers can only be installed from the main
+    thread; returns ``True`` when the handlers are (already) in place and
+    ``False`` when installation was not possible (non-main thread), in
+    which case only the ``atexit`` sweep protects the process.
+    """
+    if _SIGNAL_PREVIOUS:
+        return True
+    if threading.current_thread() is not threading.main_thread():
+        return False
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous = signal.getsignal(signum)
+            signal.signal(signum, _signal_cleanup_handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic contexts
+            return False
+        _SIGNAL_PREVIOUS[signum] = previous
+    return True
 
 
 @dataclass(frozen=True)
@@ -147,6 +202,7 @@ class ShmPack:
                 (name, ShmLayout(array.dtype.str, tuple(array.shape), offset))
             )
             offset = _aligned(offset + array.nbytes)
+        install_signal_cleanup()  # publishers must survive SIGTERM unleaked
         segment_name = f"{prefix}-{os.getpid()}-{secrets.token_hex(4)}"
         segment = shared_memory.SharedMemory(
             name=segment_name, create=True, size=max(1, offset)

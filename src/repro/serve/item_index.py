@@ -144,6 +144,26 @@ class ItemIndex:
             self._reprs = np.zeros((len(self.item_ids), dim), dtype=dtype)
         return self.reprs
 
+    def adopt(self, reprs: np.ndarray) -> None:
+        """Install an externally built catalog matrix (zero-copy).
+
+        The serving daemon encodes the catalog exactly once in the parent,
+        publishes the matrix through a shared-memory pack, and each worker
+        adopts the attached view — the rows must have been produced by the
+        same model through the canonical blocked encoder, or the engine's
+        bit-identity contract is void. The array is used as-is (it may be
+        a read-only shared-memory view); every slot is marked valid, so no
+        encode path will ever write into it.
+        """
+        if reprs.ndim != 2 or reprs.shape[0] != len(self.item_ids):
+            raise ValueError(
+                f"adopted matrix must be ({len(self.item_ids)}, d); "
+                f"got {reprs.shape}"
+            )
+        self._reprs = reprs
+        self._valid = np.ones(len(self.item_ids), dtype=bool)
+        self._version += 1
+
     def invalidate(self, item_ids: Iterable[str] | None = None) -> int:
         """Mark rows stale so the next access re-encodes them.
 

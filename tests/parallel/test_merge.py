@@ -89,6 +89,61 @@ class TestMergeShards:
         assert [p.name for p in find_shards(tmp_path)] == ["run-w0g0.jsonl"]
 
 
+class TestTruncatedShards:
+    """A worker killed mid-append leaves a torn final line; the merge must
+    survive it, warn about it, and account for the loss in the merge event."""
+
+    def test_torn_tail_is_dropped_with_warning_and_recorded(self, tmp_path):
+        write_shard(tmp_path, "run-w0g0.jsonl", worker_events(0, 100.0, [0]))
+        # Simulate the kill: the worker died halfway through an append.
+        shard = tmp_path / "run-w1g0.jsonl"
+        lines = [json.dumps(e, sort_keys=True) for e in worker_events(1, 100.5, [1])]
+        shard.write_text("\n".join(lines) + '\n{"seq": 4, "ts": 110.2, "ru')
+        with pytest.warns(UserWarning, match="torn final line"):
+            merge_shards(tmp_path)
+        stats = validate_run_file(tmp_path / "run.jsonl")
+        assert stats["kinds"]["merge"] == 1
+        merged = load_run_events(tmp_path / "run.jsonl")
+        marker = [e for e in merged if e["kind"] == "merge"][0]
+        assert marker["truncated_shards"] == ["run-w1g0.jsonl"]
+        assert marker["dropped_lines"] == 1
+        # Every intact event of the torn shard survives.
+        assert sum(1 for e in merged if e.get("run") == "w1g0") == 3
+
+    def test_intact_shards_report_no_truncation(self, tmp_path):
+        import warnings
+
+        write_shard(tmp_path, "run-w0g0.jsonl", worker_events(0, 100.0, [0]))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning fails the test
+            merge_shards(tmp_path)
+        marker = [
+            e for e in load_run_events(tmp_path / "run.jsonl")
+            if e["kind"] == "merge"
+        ][0]
+        assert marker["truncated_shards"] == []
+        assert marker["dropped_lines"] == 0
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        shard = tmp_path / "run-w0g0.jsonl"
+        lines = [json.dumps(e, sort_keys=True) for e in worker_events(0, 100.0, [0])]
+        lines[1] = lines[1][: len(lines[1]) // 2]  # corrupt a non-final line
+        shard.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="malformed telemetry"):
+            merge_shards(tmp_path)
+
+    def test_report_shows_telemetry_loss(self, tmp_path):
+        write_shard(tmp_path, "run-w0g0.jsonl", worker_events(0, 100.0, [0]))
+        shard = tmp_path / "run-w1g0.jsonl"
+        lines = [json.dumps(e, sort_keys=True) for e in worker_events(1, 100.5, [1])]
+        shard.write_text("\n".join(lines) + '\n{"torn')
+        with pytest.warns(UserWarning):
+            merge_shards(tmp_path)
+        text = render_report(load_run_events(tmp_path / "run.jsonl"))
+        assert "torn line(s)" in text
+        assert "run-w1g0.jsonl" in text
+
+
 class TestParallelReport:
     def test_report_from_unmerged_shard_directory(self, tmp_path):
         write_shard(tmp_path, "run-w0g0.jsonl", worker_events(0, 100.0, [0, 2]))

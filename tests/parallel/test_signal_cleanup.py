@@ -1,0 +1,109 @@
+"""A SIGTERM'd publisher must not leak /dev/shm segments (satellite).
+
+The atexit sweep only covers normal interpreter exits; a daemon killed
+with SIGTERM dies without running it. ``ShmPack.publish`` installs
+SIGTERM/SIGINT handlers that run the sweep first and then restore the
+signal's default behavior, so the process still reports a signal death.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.parallel import install_signal_cleanup
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+PUBLISHER = """
+import sys, time
+import numpy as np
+from repro.parallel import ShmPack
+pack = ShmPack.publish({'x': np.zeros(256)}, prefix='repro-sigterm')
+print(pack.ref.name, flush=True)
+time.sleep(60)  # wait to be killed
+"""
+
+
+def run_publisher_and_signal(signum):
+    proc = subprocess.Popen(
+        [sys.executable, "-c", PUBLISHER],
+        stdout=subprocess.PIPE, text=True,
+        env={**os.environ, "PYTHONPATH": SRC},
+    )
+    try:
+        name = proc.stdout.readline().strip()
+        assert name.startswith("repro-sigterm")
+        proc.send_signal(signum)
+        returncode = proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    return name, returncode
+
+
+def assert_segment_gone(name):
+    from multiprocessing import shared_memory
+
+    deadline = time.monotonic() + 5
+    while time.monotonic() < deadline:
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return
+        segment.close()
+        time.sleep(0.05)
+    raise AssertionError(f"segment {name} leaked in /dev/shm")
+
+
+class TestSignalCleanup:
+    def test_sigterm_unlinks_segments_and_keeps_signal_exit_status(self):
+        name, returncode = run_publisher_and_signal(signal.SIGTERM)
+        assert_segment_gone(name)
+        # The handler re-raises with SIG_DFL restored: the exit status must
+        # still say "killed by SIGTERM", not a clean exit.
+        assert returncode == -signal.SIGTERM
+
+    def test_sigint_unlinks_segments_too(self):
+        name, returncode = run_publisher_and_signal(signal.SIGINT)
+        assert_segment_gone(name)
+        assert returncode != 0
+
+    def test_install_is_idempotent_in_main_thread(self):
+        assert install_signal_cleanup() is True
+        assert install_signal_cleanup() is True
+
+    def test_install_refuses_non_main_thread(self):
+        import threading
+
+        import repro.parallel.shm as shm
+
+        previous = dict(shm._SIGNAL_PREVIOUS)
+        shm._SIGNAL_PREVIOUS.clear()
+        try:
+            outcome = []
+            thread = threading.Thread(
+                target=lambda: outcome.append(install_signal_cleanup())
+            )
+            thread.start()
+            thread.join()
+            assert outcome == [False]
+        finally:
+            shm._SIGNAL_PREVIOUS.update(previous)
+            if previous:
+                install_signal_cleanup()
+
+
+@pytest.fixture(autouse=True)
+def restore_handlers():
+    """Keep the test process's own handlers stable across tests."""
+    term = signal.getsignal(signal.SIGTERM)
+    intr = signal.getsignal(signal.SIGINT)
+    yield
+    signal.signal(signal.SIGTERM, term)
+    signal.signal(signal.SIGINT, intr)

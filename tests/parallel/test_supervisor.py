@@ -1,0 +1,136 @@
+"""Tests for the long-lived worker supervisor (slot/generation lifecycle)."""
+
+import multiprocessing
+import os
+import queue
+import time
+
+import pytest
+
+from repro.parallel import WorkerDeath, WorkerSupervisor
+
+
+def echo_worker(slot, generation, task_queue, result_queue):
+    """Doubles integers; 'die' exits like a SIGKILL; None stops."""
+    while True:
+        message = task_queue.get()
+        if message is None:
+            return
+        if message == "die":
+            result_queue.close()
+            result_queue.join_thread()
+            os._exit(9)
+        result_queue.put((slot, generation, message * 2))
+
+
+@pytest.fixture()
+def result_queue():
+    return multiprocessing.get_context("fork").Queue()
+
+
+def make_supervisor(result_queue, workers=2):
+    return WorkerSupervisor(
+        echo_worker,
+        lambda slot, generation, task_queue: (
+            slot, generation, task_queue, result_queue
+        ),
+        workers,
+    )
+
+
+def collect(result_queue, count, timeout=20.0):
+    results = []
+    deadline = time.monotonic() + timeout
+    while len(results) < count and time.monotonic() < deadline:
+        try:
+            results.append(result_queue.get(timeout=0.2))
+        except queue.Empty:
+            continue
+    return results
+
+
+class TestSupervisor:
+    def test_round_trip_through_every_slot(self, result_queue):
+        supervisor = make_supervisor(result_queue)
+        supervisor.start()
+        try:
+            supervisor.send(0, 10)
+            supervisor.send(1, 20)
+            results = collect(result_queue, 2)
+            assert sorted(results) == [(0, 0, 20), (1, 0, 40)]
+            assert supervisor.alive_count() == 2
+        finally:
+            supervisor.stop()
+
+    def test_death_is_detected_and_respawned_with_next_generation(
+        self, result_queue
+    ):
+        supervisor = make_supervisor(result_queue)
+        supervisor.start()
+        try:
+            supervisor.send(0, "die")
+            deaths = []
+            deadline = time.monotonic() + 20
+            while not deaths and time.monotonic() < deadline:
+                deaths = supervisor.check()
+                time.sleep(0.02)
+            assert deaths == [WorkerDeath(slot=0, generation=0, exitcode=9)]
+            assert supervisor.generation(0) == 1
+            assert supervisor.generation(1) == 0
+            # The respawned generation serves from a fresh queue.
+            supervisor.send(0, 7)
+            assert collect(result_queue, 1) == [(0, 1, 14)]
+        finally:
+            supervisor.stop()
+
+    def test_kill_heals_like_any_death(self, result_queue):
+        supervisor = make_supervisor(result_queue, workers=1)
+        supervisor.start()
+        try:
+            supervisor.send(0, 1)
+            assert collect(result_queue, 1) == [(0, 0, 2)]
+            # Let the worker's feeder thread release the shared result-queue
+            # write lock before killing: a SIGKILL in the microseconds between
+            # our get() and that release would leave the lock held forever and
+            # wedge the respawned generation's put(). (The daemon only ever
+            # SIGKILLs compute-stalled workers, which never hold it.)
+            time.sleep(0.2)
+            supervisor.kill(0)
+            deaths = []
+            deadline = time.monotonic() + 20
+            while not deaths and time.monotonic() < deadline:
+                deaths = supervisor.check()
+                time.sleep(0.02)
+            assert deaths[0].slot == 0
+            assert deaths[0].exitcode != 0
+            supervisor.send(0, 3)
+            assert collect(result_queue, 1) == [(0, 1, 6)]
+        finally:
+            supervisor.stop()
+
+    def test_check_without_respawn_retires_the_slot(self, result_queue):
+        supervisor = make_supervisor(result_queue)
+        supervisor.start()
+        try:
+            supervisor.send(1, "die")
+            deaths = []
+            deadline = time.monotonic() + 20
+            while not deaths and time.monotonic() < deadline:
+                deaths = supervisor.check(respawn=False)
+                time.sleep(0.02)
+            assert deaths[0].slot == 1
+            assert supervisor.alive_count() == 1
+        finally:
+            supervisor.stop()
+
+    def test_stop_is_graceful_and_idempotent(self, result_queue):
+        supervisor = make_supervisor(result_queue)
+        supervisor.start()
+        supervisor.stop()
+        assert supervisor.alive_count() == 0
+        supervisor.stop()  # second call must not raise
+        assert supervisor.check() == []  # post-stop checks are inert
+
+    def test_rejects_zero_workers(self, result_queue):
+        with pytest.raises(ValueError):
+            make_supervisor(result_queue, workers=0)

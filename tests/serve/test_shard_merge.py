@@ -1,0 +1,149 @@
+"""Sharded top-K must equal single-process top-K, bit for bit.
+
+This is the correctness backbone of the daemon: each worker ranks one
+contiguous slot range and the parent merges partials. Row independence
+(fixed-shape blocked scoring) plus the strictly total ``(-score, slot)``
+order make the merge exact — these tests pin that equivalence for exact
+and IVF retrieval, with exclusions, across shard counts, including the
+degenerate empty-shard layouts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    InferenceEngine,
+    merge_topk,
+    shard_bounds,
+    shard_topk,
+)
+
+
+@pytest.fixture(scope="module")
+def engine(trained):
+    engine = InferenceEngine(trained, nlist=8, nprobe=2, ann_seed=0)
+    engine.build_index()
+    return engine
+
+
+@pytest.fixture(scope="module")
+def users(world):
+    dataset, split = world
+    test = {r.user_id for r in split.eval_interactions(dataset, "test")}
+    return sorted(test)[:6]
+
+
+def reference_topk(engine, user, k, **kwargs):
+    return [
+        (engine.items.slots[r.item_id], r.score)
+        for r in engine.recommend(user, k, **kwargs)
+    ]
+
+
+class TestShardBounds:
+    def test_partitions_exactly(self):
+        assert shard_bounds(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_empty_shards_are_legal(self):
+        bounds = shard_bounds(2, 4)
+        assert bounds == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+    @pytest.mark.parametrize("n_items,shards", [(0, 1), (1, 1), (7, 7), (40, 3)])
+    def test_covers_every_slot_once(self, n_items, shards):
+        bounds = shard_bounds(n_items, shards)
+        covered = [s for lo, hi in bounds for s in range(lo, hi)]
+        assert covered == list(range(n_items))
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            shard_bounds(10, 0)
+
+
+class TestMergeTopk:
+    def test_orders_by_score_then_slot(self):
+        merged = merge_topk([[(3, 0.5), (1, 0.9)], [(0, 0.9), (7, 0.1)]], 3)
+        assert merged == [(0, 0.9), (1, 0.9), (3, 0.5)]
+
+    def test_tolerates_empty_shards(self):
+        assert merge_topk([[], [(2, 1.0)], []], 5) == [(2, 1.0)]
+        assert merge_topk([], 5) == []
+
+
+class TestShardedExact:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 5])
+    def test_merge_equals_full_catalog_recommend(self, engine, users, shards):
+        k = 7
+        for user in users:
+            partials = [
+                shard_topk(engine, user, k, lo, hi)
+                for lo, hi in shard_bounds(len(engine.items), shards)
+            ]
+            assert merge_topk(partials, k) == reference_topk(engine, user, k)
+
+    def test_more_shards_than_items_still_exact(self, engine, users):
+        k = 3
+        user = users[0]
+        partials = [
+            shard_topk(engine, user, k, lo, hi)
+            for lo, hi in shard_bounds(len(engine.items), len(engine.items) + 9)
+        ]
+        assert merge_topk(partials, k) == reference_topk(engine, user, k)
+
+    def test_exclusions_apply_per_shard(self, engine, users):
+        k = 5
+        user = users[1]
+        baseline = engine.recommend(user, k)
+        exclude_ids = [baseline[0].item_id, baseline[2].item_id]
+        exclude_slots = {engine.items.slots[i] for i in exclude_ids}
+        partials = [
+            shard_topk(engine, user, k, lo, hi, exclude_slots=exclude_slots)
+            for lo, hi in shard_bounds(len(engine.items), 3)
+        ]
+        assert merge_topk(partials, k) == reference_topk(
+            engine, user, k, exclude_items=exclude_ids
+        )
+
+    def test_scores_are_plain_floats(self, engine, users):
+        lo, hi = shard_bounds(len(engine.items), 2)[0]
+        for slot, score in shard_topk(engine, users[0], 4, lo, hi):
+            assert type(slot) is int and type(score) is float
+
+
+class TestShardedIVF:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_merge_equals_full_ivf_recommend(self, engine, users, shards):
+        k = 7
+        for user in users:
+            partials = [
+                shard_topk(engine, user, k, lo, hi, retrieval="ivf")
+                for lo, hi in shard_bounds(len(engine.items), shards)
+            ]
+            assert merge_topk(partials, k) == reference_topk(
+                engine, user, k, retrieval="ivf"
+            )
+
+    def test_full_probe_recovers_brute_force(self, engine, users):
+        # nprobe >= nlist scores the whole catalog: the sharded IVF path
+        # must collapse to the exact ranking.
+        k = 7
+        for user in users[:3]:
+            partials = [
+                shard_topk(
+                    engine, user, k, lo, hi, retrieval="ivf", nprobe=64
+                )
+                for lo, hi in shard_bounds(len(engine.items), 3)
+            ]
+            assert merge_topk(partials, k) == reference_topk(engine, user, k)
+
+    def test_shard_candidates_union_to_global_shortlist(self, engine, users):
+        user = users[2]
+        index = engine.ann_index()
+        invariant, user_repr = engine.users.get_many([user])
+        global_slots = engine._probe(index, invariant, user_repr, 2)
+        shard_slots = []
+        for lo, hi in shard_bounds(len(engine.items), 3):
+            candidates = engine._probe(index, invariant, user_repr, 2)
+            shard_slots.extend(
+                int(s) for s in candidates[(candidates >= lo) & (candidates < hi)]
+            )
+        assert sorted(shard_slots) == sorted(int(s) for s in global_slots)
