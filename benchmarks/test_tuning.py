@@ -1,0 +1,182 @@
+"""ASHA tuner benchmark: wall-clock vs exhaustive grid at matched quality.
+
+Runs the same 9-trial search space through the exhaustive grid scheduler
+(every trial trains the full epoch budget) and through successive halving
+(losers killed at rung barriers, winners resuming from checkpoints), and
+reports wall-clock, epochs trained, and the best validation RMSE of each.
+
+Hard gates (full scale):
+
+* **quality** — ASHA's best config scores within 1% of the exhaustive
+  grid's best validation RMSE;
+* **speed** — ASHA finishes in at most half the grid's wall-clock
+  (the epoch census shows where the saving comes from);
+* **no recomputation** — promoted trials resume: zero duplicated
+  (trial, epoch) pairs in the telemetry stream, and exactly one ``resume``
+  health event per promotion;
+* **determinism** — two ASHA runs of the same (spec, seed), and an inline
+  (workerless) run, produce **byte-identical** ``best_config.json``.
+
+Results land in ``BENCH_tune.json``. ``REPRO_BENCH_FAST=1`` shrinks the
+world and the budget for a harness smoke run (gates still asserted except
+the wall-clock factor, which is noise at toy scale).
+"""
+
+from __future__ import annotations
+
+from repro.core import OmniMatchConfig
+from repro.data import generate_scenario
+from repro.obs import read_events
+from repro.perf import write_report
+from repro.tune import run_tuning, trained_epoch_census
+
+from conftest import FAST, SHAPE_ASSERTS, run_once
+
+WORLD = (
+    dict(num_users=120, num_items_per_domain=60, reviews_per_user_mean=5.0)
+    if FAST
+    else dict(num_users=220, num_items_per_domain=100, reviews_per_user_mean=6.0)
+)
+
+#: 3 x 3 grid — 9 trials, all enumerable by both schedulers.
+SPACE = {
+    "learning_rate": {"grid": [0.5, 1.0, 1.5]},
+    "alpha": {"grid": [0.1, 0.2, 0.3]},
+}
+#: Rung 0 ranks at 3 epochs: the probe of this world's learning curves
+#: shows rankings invert below that (low learning rates lead early, then
+#: lose), stabilizing from epoch 3 — ASHA's core assumption needs the
+#: first rung budget to sit past the crossing point.
+MIN_EPOCHS = 1 if FAST else 3
+MAX_EPOCHS = 4 if FAST else 12
+ETA = 5
+WORKERS = 2
+SEED = 0
+
+QUALITY_TOLERANCE = 1.01  # ASHA best RMSE within 1% of the grid best
+SPEEDUP_GATE = 2.0        # ASHA at least 2x faster wall-clock
+
+
+def bench_model() -> OmniMatchConfig:
+    return OmniMatchConfig(
+        embed_dim=24, num_filters=8, invariant_dim=16, specific_dim=16,
+        projection_dim=12, doc_len=32, vocab_size=1000, batch_size=64,
+    )
+
+
+def _tune(dataset, out_dir, scheduler, workers):
+    return run_tuning(
+        SPACE, base_config=bench_model(), dataset=dataset, seed=SEED,
+        scheduler=scheduler, min_epochs=MIN_EPOCHS, max_epochs=MAX_EPOCHS,
+        eta=ETA, split_seed=SEED, workers=workers, out_dir=out_dir,
+    )
+
+
+def _arm_stats(result):
+    total, duplicates = trained_epoch_census(result.telemetry_dir)
+    return {
+        "best_trial": result.best_trial,
+        "best_rmse": result.best_rmse,
+        "best_params": result.best_params,
+        "wall_seconds": result.wall_seconds,
+        "epochs_trained": total,
+        "duplicated_epochs": duplicates,
+        "rungs": [
+            {"rung": d.rung, "budget": d.budget,
+             "alive": len(d.ranked), "killed": len(d.killed)}
+            for d in result.rungs
+        ],
+    }
+
+
+def _run(tmp_path):
+    dataset = generate_scenario("amazon", "books", "movies", seed=11, **WORLD)
+    asha = _tune(dataset, tmp_path / "asha", "asha", WORKERS)
+    grid = _tune(dataset, tmp_path / "grid", "grid", WORKERS)
+    asha_repeat = _tune(dataset, tmp_path / "asha-repeat", "asha", WORKERS)
+    asha_inline = _tune(dataset, tmp_path / "asha-inline", "asha", 0)
+    return asha, grid, asha_repeat, asha_inline
+
+
+def test_asha_vs_exhaustive_grid(benchmark, tmp_path):
+    asha, grid, asha_repeat, asha_inline = run_once(
+        benchmark, lambda: _run(tmp_path)
+    )
+
+    asha_stats = _arm_stats(asha)
+    grid_stats = _arm_stats(grid)
+    speedup = grid.wall_seconds / asha.wall_seconds
+    epoch_reduction = grid_stats["epochs_trained"] / asha_stats["epochs_trained"]
+
+    resumes = [
+        e for e in read_events(asha.telemetry_dir / "run.jsonl")
+        if e["kind"] == "health" and e.get("health_kind") == "resume"
+    ]
+    promotions = sum(len(d.promoted) for d in asha.rungs)
+
+    print("\n=== ASHA vs exhaustive grid (9 trials, books -> movies) ===")
+    print(f"{'arm':<12s} {'wall':>8s} {'epochs':>7s} {'best RMSE':>10s}  best params")
+    for name, stats in (("asha", asha_stats), ("grid", grid_stats)):
+        print(f"{name:<12s} {stats['wall_seconds']:>7.1f}s "
+              f"{stats['epochs_trained']:>7d} {stats['best_rmse']:>10.4f}  "
+              f"{stats['best_params']}")
+    print(f"speedup {speedup:.2f}x wall-clock, {epoch_reduction:.2f}x fewer "
+          f"epochs; {len(resumes)} resumes for {promotions} promotions, "
+          f"{asha_stats['duplicated_epochs']} duplicated epochs")
+
+    identical_repeat = (
+        asha.artifact_path.read_bytes() == asha_repeat.artifact_path.read_bytes()
+    )
+    identical_inline = (
+        asha.artifact_path.read_bytes() == asha_inline.artifact_path.read_bytes()
+    )
+    print(f"byte-identical artifacts: repeat={identical_repeat} "
+          f"inline={identical_inline}")
+
+    # Scale-independent gates: determinism and resume-no-recompute.
+    assert identical_repeat, "same (spec, seed) must be byte-identical"
+    assert identical_inline, "inline and pooled runs must be byte-identical"
+    assert asha_stats["duplicated_epochs"] == 0, "promoted trials recomputed epochs"
+    assert len(resumes) == promotions
+    assert asha_stats["epochs_trained"] < grid_stats["epochs_trained"]
+    if SHAPE_ASSERTS:
+        # The winner trained to the full budget under both schedulers, so
+        # its RMSE is bit-identical across arms; ASHA can only lose by
+        # promoting the wrong trial — the quality gate bounds that regret.
+        # (FAST worlds are below the scale where early-epoch rankings are
+        # informative, so both gates apply at full scale only.)
+        assert asha.best_rmse <= grid.best_rmse * QUALITY_TOLERANCE, (
+            f"ASHA best {asha.best_rmse:.4f} worse than 1% over "
+            f"grid best {grid.best_rmse:.4f}"
+        )
+        assert speedup >= SPEEDUP_GATE, (
+            f"ASHA speedup {speedup:.2f}x below the {SPEEDUP_GATE}x gate"
+        )
+
+    write_report(
+        "BENCH_tune.json",
+        {
+            "space": SPACE,
+            "scheduler": {
+                "min_epochs": MIN_EPOCHS, "max_epochs": MAX_EPOCHS, "eta": ETA,
+            },
+            "workers": WORKERS,
+            "fast_mode": FAST,
+            "arms": {
+                "asha": asha_stats,
+                "grid": grid_stats,
+            },
+            "speedup_wall_clock": speedup,
+            "epoch_reduction": epoch_reduction,
+            "resume_events": len(resumes),
+            "promotions": promotions,
+            "artifacts_byte_identical": {
+                "repeat": identical_repeat,
+                "inline_vs_workers": identical_inline,
+            },
+            "gates": {
+                "quality_tolerance": QUALITY_TOLERANCE,
+                "speedup_gate": SPEEDUP_GATE if SHAPE_ASSERTS else None,
+            },
+        },
+    )

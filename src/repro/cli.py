@@ -28,6 +28,12 @@ Commands
     Summarize a telemetry file (``run.jsonl``) written by a run with
     ``--telemetry``: phase time breakdown, health events, final metrics.
     Also accepts a directory of per-worker shards from a parallel run.
+``tune``
+    Distributed hyperparameter search with deterministic successive
+    halving (ASHA): a declarative search space fans over worker
+    processes, losing trials are killed at rung barriers, promoted
+    trials resume from their checkpoints, and the winner lands in a
+    byte-deterministic ``best_config.json``.
 ``serve``
     Train briefly, then run the resilient serving daemon — a supervised
     multi-worker fleet sharding the catalog behind a JSON-lines socket,
@@ -179,6 +185,39 @@ def build_parser() -> argparse.ArgumentParser:
                            help="stream serve-stage telemetry (index build, "
                                 "cache hits, score latency, ann probes) to "
                                 "DIR/run.jsonl")
+
+    tune = sub.add_parser(
+        "tune", help="ASHA hyperparameter search over OmniMatchConfig"
+    )
+    add_scenario_args(tune)
+    tune.add_argument("--space", default=None, metavar="JSON|@FILE",
+                      help="search-space spec: inline JSON or @path to a "
+                           "JSON file mapping config fields to one "
+                           "distribution each (grid/choice/uniform/"
+                           "log_uniform); default tunes learning_rate "
+                           "and alpha")
+    tune.add_argument("--samples", type=int, default=1,
+                      help="joint draws of the sampled (non-grid) fields "
+                           "per grid point")
+    tune.add_argument("--scheduler", choices=("asha", "grid"), default="asha",
+                      help="asha: successive halving with early kills; "
+                           "grid: exhaustive (every trial trains the full "
+                           "budget)")
+    tune.add_argument("--min-epochs", type=int, default=1,
+                      help="first-rung epoch budget")
+    tune.add_argument("--max-epochs", type=int, default=9,
+                      help="final-rung (cumulative) epoch budget")
+    tune.add_argument("--eta", type=int, default=3,
+                      help="halving rate: budgets grow by eta, top 1/eta "
+                           "of each rung is promoted")
+    tune.add_argument("--train-fraction", type=float, default=1.0)
+    tune.add_argument("--workers", type=int, default=0,
+                      help="fan rung trials across N worker processes "
+                           "(results are byte-identical to inline)")
+    tune.add_argument("--out", default="tune-out", metavar="DIR",
+                      help="output directory: best_config.json, per-trial "
+                           "checkpoints under trials/, telemetry under "
+                           "telemetry/")
 
     report = sub.add_parser(
         "report", help="summarize a run.jsonl telemetry file"
@@ -545,6 +584,56 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return 1 if outcome.mismatches else 0
 
 
+_DEFAULT_TUNE_SPACE = {
+    "learning_rate": {"log_uniform": [0.2, 2.0]},
+    "alpha": {"grid": [0.1, 0.2, 0.3]},
+}
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    import json
+
+    from .tune import SearchSpaceError, run_tuning
+
+    if args.space is None:
+        spec = _DEFAULT_TUNE_SPACE
+    elif args.space.startswith("@"):
+        with open(args.space[1:], encoding="utf-8") as handle:
+            spec = json.load(handle)
+    else:
+        spec = json.loads(args.space)
+
+    try:
+        result = run_tuning(
+            spec,
+            dataset_name=args.dataset, source=args.source, target=args.target,
+            seed=args.seed, num_samples=args.samples,
+            scheduler=args.scheduler, min_epochs=args.min_epochs,
+            max_epochs=args.max_epochs, eta=args.eta,
+            train_fraction=args.train_fraction, split_seed=args.seed,
+            workers=args.workers, out_dir=args.out,
+        )
+    except SearchSpaceError as error:
+        raise SystemExit(f"bad search space: {error}")
+
+    mode = f"{args.workers} workers" if args.workers >= 2 else "inline"
+    print(f"tuned {len(result.trials)} trials over {len(result.rungs)} "
+          f"rung(s) ({args.scheduler}, {mode}) in {result.wall_seconds:.1f}s "
+          f"— {result.total_epochs} epochs trained")
+    for decision in result.rungs:
+        print(f"  rung {decision.rung} (budget {decision.budget}): "
+              f"{len(decision.ranked)} trials, "
+              f"promoted {len(decision.promoted)}, "
+              f"killed {len(decision.killed)}")
+    params = ", ".join(f"{k}={v}" for k, v in sorted(result.best_params.items()))
+    print(f"best trial {result.best_trial}: valid RMSE "
+          f"{result.best_rmse:.4f} ({params})")
+    print(f"best config written to {result.artifact_path}")
+    print(f"telemetry merged into {result.telemetry_dir}/run.jsonl "
+          f"(summarize with `repro report`)")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     if args.validate:
         from pathlib import Path
@@ -587,6 +676,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_case_study(args)
     if args.command == "recommend":
         return _cmd_recommend(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "serve":

@@ -503,7 +503,11 @@ def prune_checkpoints(
     """Delete all but the ``keep_last`` newest ``epoch-*`` checkpoints.
 
     The ``best`` checkpoint (best-by-validation-RMSE) is never pruned.
-    Returns the deleted paths.
+    Returns the paths that were *actually* deleted: deletion failures
+    (permissions, a file pinned open on some platforms) are verified by
+    re-checking existence after the rmtree, reported with a warning, and
+    recorded in the ``failed`` field of the ``checkpoint_prune`` event —
+    telemetry never claims a deletion that did not happen.
     """
     if keep_last < 1:
         raise ValueError("keep_last must be at least 1")
@@ -512,13 +516,25 @@ def prune_checkpoints(
         return []
     doomed = _epoch_checkpoints(path)[:-keep_last]
     removed: list[Path] = []
+    failed: list[Path] = []
     for _, child in doomed:
         shutil.rmtree(child, ignore_errors=True)
-        removed.append(child)
-    if removed:
+        if child.exists():
+            failed.append(child)
+        else:
+            removed.append(child)
+    if failed:
+        warnings.warn(
+            f"{path}: could not prune {len(failed)} checkpoint(s): "
+            + ", ".join(child.name for child in failed),
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if removed or failed:
         emit_event(
             "checkpoint_prune",
             removed=[str(child) for child in removed],
+            failed=[str(child) for child in failed],
             keep_last=int(keep_last),
         )
     return removed

@@ -22,16 +22,25 @@ _METRICS = {"rmse": rmse, "mae": mae}
 
 @dataclass(frozen=True)
 class BootstrapResult:
-    """Outcome of a paired bootstrap comparison (A vs B)."""
+    """Outcome of a paired bootstrap comparison (A vs B).
+
+    ``win_rate_a`` counts a resample where the two metrics tie as half a
+    win for each side, so two identical methods read 0.5 rather than 0.0
+    — ties are the expected outcome for near-identical methods, exactly
+    the case significance testing exists for. ``ties`` reports how many
+    resamples tied so callers can tell "A and B trade blows" apart from
+    "A and B are the same method".
+    """
 
     metric: str
     observed_a: float
     observed_b: float
-    win_rate_a: float  # fraction of resamples where A's metric < B's
+    win_rate_a: float  # fraction of resamples where A beats B (ties count 0.5)
     delta_mean: float  # mean of (B - A) over resamples; positive favours A
     delta_ci_low: float
     delta_ci_high: float
     num_samples: int
+    ties: int = 0  # resamples where the two metrics were exactly equal
 
     @property
     def significant_at_95(self) -> bool:
@@ -69,14 +78,20 @@ def paired_bootstrap(
     rng = np.random.default_rng(seed)
     n = actual.size
     deltas = np.empty(num_samples)
-    wins = 0
+    wins = 0.0
+    ties = 0
     for sample in range(num_samples):
         index = rng.integers(0, n, size=n)
         score_a = metric_fn(actual[index], predicted_a[index])
         score_b = metric_fn(actual[index], predicted_b[index])
         deltas[sample] = score_b - score_a
         if score_a < score_b:
-            wins += 1
+            wins += 1.0
+        elif score_a == score_b:
+            # A tie is evidence for neither side; counting it as a loss for
+            # A would bias win_rate_a toward 0 for near-identical methods.
+            wins += 0.5
+            ties += 1
     low, high = np.percentile(deltas, [2.5, 97.5])
     return BootstrapResult(
         metric=metric,
@@ -87,4 +102,5 @@ def paired_bootstrap(
         delta_ci_low=float(low),
         delta_ci_high=float(high),
         num_samples=num_samples,
+        ties=ties,
     )

@@ -98,6 +98,12 @@ def summarize_run(events: list[dict]) -> dict:
             "truncated_shards": [],
             "dropped_lines": 0,
         },
+        "tune": {
+            "trials": {},
+            "rungs": [],
+            "best_trial": None,
+            "best_rmse": None,
+        },
         "ann": {
             "builds": 0,
             "nlist": 0,
@@ -173,7 +179,7 @@ def summarize_run(events: list[dict]) -> dict:
                 "tasks_done": event.get("tasks_done", 0),
                 "utilization": busy / total if total > 0 else 0.0,
             }
-        elif kind == "task":
+        elif kind in ("task", "pool_task"):
             status = event.get("status", "ok")
             summary["tasks"][status] = summary["tasks"].get(status, 0) + 1
         elif kind == "serve_score":
@@ -229,6 +235,36 @@ def summarize_run(events: list[dict]) -> dict:
             daemon["started"] = True
             for key in ("received", "completed", "shed", "timeouts", "errors"):
                 daemon[key] = event.get(key, daemon[key])
+        elif kind == "tune_trial":
+            tune = summary["tune"]
+            entry = tune["trials"].setdefault(
+                event.get("trial"),
+                {"params": {}, "rungs": {}, "epochs": 0, "killed_at": None},
+            )
+            if event.get("status") == "defined":
+                entry["params"] = event.get("params", {})
+            else:
+                rmse = event.get("valid_rmse")
+                entry["rungs"][event.get("rung")] = rmse
+                entry["epochs"] = max(entry["epochs"], event.get("epochs", 0))
+        elif kind == "tune_rung":
+            tune = summary["tune"]
+            tune["rungs"].append(
+                {
+                    key: event[key]
+                    for key in ("rung", "budget", "trials", "promoted", "killed")
+                    if key in event
+                }
+            )
+            for trial_id in event.get("killed", []):
+                entry = tune["trials"].setdefault(
+                    trial_id,
+                    {"params": {}, "rungs": {}, "epochs": 0, "killed_at": None},
+                )
+                entry["killed_at"] = event.get("rung")
+        elif kind == "tune_result":
+            summary["tune"]["best_trial"] = event.get("best_trial")
+            summary["tune"]["best_rmse"] = event.get("best_rmse")
         elif kind == "merge":
             summary["daemon"]["truncated_shards"] = event.get(
                 "truncated_shards", []
@@ -366,6 +402,69 @@ def render_report(events: list[dict]) -> str:
             )
         if serving["users_encoded"]:
             lines.append(f"  users pre-encoded: {serving['users_encoded']}")
+
+    tune = summary["tune"]
+    if tune["trials"]:
+        lines.append("")
+        best = tune["best_trial"]
+        header = f"hyperparameter tuning ({len(tune['trials'])} trials"
+        if tune["rungs"]:
+            header += f", {len(tune['rungs'])} rungs"
+        if best is not None and tune["best_rmse"] is not None:
+            header += f"; best trial {best} @ RMSE {tune['best_rmse']:.4f}"
+        lines.append(header + ")")
+        for rung in tune["rungs"]:
+            lines.append(
+                f"  rung {rung.get('rung', '?')} "
+                f"(budget {rung.get('budget', '?')} epochs): "
+                f"{len(rung.get('trials', []))} trials -> "
+                f"promoted {len(rung.get('promoted', []))}, "
+                f"killed {len(rung.get('killed', []))}"
+            )
+        # Figure-4-style sensitivity table: hyperparameter assignments
+        # against validation RMSE at each rung budget.
+        param_names = sorted(
+            {name for entry in tune["trials"].values() for name in entry["params"]}
+        )
+        rung_ids = sorted(
+            {r for entry in tune["trials"].values() for r in entry["rungs"]}
+        )
+
+        def _cell(value) -> str:
+            if value is None:
+                return "-"
+            if isinstance(value, float):
+                return f"{value:.4g}"
+            return str(value)
+
+        rows = []
+        for trial_id in sorted(tune["trials"]):
+            entry = tune["trials"][trial_id]
+            if best is not None and trial_id == best:
+                status = "best"
+            elif entry["killed_at"] is not None:
+                status = f"killed@r{entry['killed_at']}"
+            else:
+                status = "finalist"
+            rows.append(
+                [str(trial_id)]
+                + [_cell(entry["params"].get(name)) for name in param_names]
+                + [_cell(entry["rungs"].get(r)) for r in rung_ids]
+                + [status]
+            )
+        columns = ["trial"] + param_names + [f"r{r}" for r in rung_ids] + ["status"]
+        widths = [
+            max(len(columns[i]), *(len(row[i]) for row in rows))
+            for i in range(len(columns))
+        ]
+        lines.append("  sensitivity table (validation RMSE per rung budget)")
+        lines.append(
+            "  " + "  ".join(col.rjust(w) for col, w in zip(columns, widths))
+        )
+        for row in rows:
+            lines.append(
+                "  " + "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            )
 
     ann = summary["ann"]
     if ann["builds"] or ann["probes"]:

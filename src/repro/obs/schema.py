@@ -57,6 +57,12 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     "worker_end": ("worker", "busy_seconds", "idle_seconds", "tasks_done"),
     "task": ("task", "worker", "method", "scenario", "status", "seconds"),
     "merge": ("shards", "events"),
+    # Generic preemptible task pool (repro.parallel.pool)
+    "pool_task": ("task", "worker", "status", "seconds"),
+    # Hyperparameter tuner (repro.tune)
+    "tune_trial": ("trial", "rung", "status"),
+    "tune_rung": ("rung", "budget", "trials", "promoted", "killed"),
+    "tune_result": ("best_trial", "best_rmse", "trials"),
     # Serving engine (repro.serve.engine)
     "serve_index": ("items", "catalog", "seconds"),
     "serve_encode_users": ("users", "seconds"),

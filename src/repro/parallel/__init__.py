@@ -7,11 +7,14 @@ travels through ``multiprocessing.shared_memory`` segments published
 once by the parent (:mod:`~repro.parallel.shm`,
 :mod:`~repro.parallel.sharing`); supervision, crash recovery and
 telemetry sharding live in :mod:`~repro.parallel.engine` for finite task
-batches and :mod:`~repro.parallel.supervisor` for long-lived request
-loops (the serving daemon's fleet).
+batches, :mod:`~repro.parallel.pool` for dynamically submitted,
+cancelable/preemptible tasks (the hyperparameter tuner's substrate), and
+:mod:`~repro.parallel.supervisor` for long-lived request loops (the
+serving daemon's fleet).
 """
 
 from .engine import ExperimentTask, ParallelExecutionError, run_tasks
+from .pool import TaskContext, TaskOutcome, TaskPool, TaskPoolError
 from .sharing import (
     SharedDatasetRef,
     SharedStoreRef,
@@ -37,6 +40,10 @@ __all__ = [
     "ExperimentTask",
     "ParallelExecutionError",
     "run_tasks",
+    "TaskContext",
+    "TaskOutcome",
+    "TaskPool",
+    "TaskPoolError",
     "SharedDatasetRef",
     "SharedStoreRef",
     "publish_dataset",

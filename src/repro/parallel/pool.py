@@ -1,0 +1,527 @@
+"""Generic preemptible task pool over supervised worker processes.
+
+:mod:`repro.parallel.engine` executes a *fixed batch* of experiment cells;
+the pool generalizes the same supervision machinery (private per-worker
+task queues, a shared result queue, liveness polling, death → requeue with
+a bounded attempt budget, per-worker telemetry shards) to **dynamically
+submitted, cancelable tasks** — what a scheduler that makes decisions
+between waves of work (the ASHA tuner) needs:
+
+* ``submit(fn, *args, **kwargs)`` enqueues a call of a module-level
+  function; the pool invokes it as ``fn(ctx, *args, **kwargs)`` where
+  ``ctx`` is a :class:`TaskContext` carrying the task coordinates, the
+  worker's telemetry sink, and a ``should_stop`` callable;
+* ``cancel(index)`` removes a still-pending task outright, or — when the
+  task is already running — flips a shared per-worker cancel cell that the
+  task's ``should_stop`` hook observes, requesting a *cooperative* stop
+  (the trainer's ``stop_check`` checkpoints and exits at the next epoch
+  boundary). The cell stores the **task index**, so a stale cancel can
+  never leak into the worker's next task: requeue-safe accounting;
+* a worker that dies mid-task is detected by liveness polling, its task
+  requeued with ``attempt + 1`` (bounded by ``max_task_retries``) and a
+  replacement spawned with a bumped generation — unless the task had a
+  cancel pending, in which case its death *is* the cancellation.
+
+``workers < 2`` runs every task inline in submission order — no processes,
+no shared memory, same outcomes — so callers get a zero-dependency mode
+for tests and tiny runs. Telemetry (when ``telemetry_dir`` is given) is
+sharded exactly like the engine's: each worker (and the inline loop)
+writes ``run-w<id>g<gen>.jsonl``; the caller merges shards when *it* is
+done writing its own (:func:`repro.obs.merge_shards`).
+
+Exceptions raised by a task are deterministic, so they are never retried:
+the outcome carries the traceback and :meth:`TaskPool.drain` raises
+:class:`TaskPoolError` (unless told to collect errors instead).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import queue as queue_module
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..obs import TelemetrySink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults import WorkerKillPlan
+
+__all__ = ["TaskContext", "TaskOutcome", "TaskPool", "TaskPoolError"]
+
+#: ``cancel_cell`` value meaning "no cancellation requested".
+_NO_CANCEL = -1
+
+
+class TaskPoolError(RuntimeError):
+    """A task raised, or exhausted its worker-death retry budget."""
+
+
+@dataclass(frozen=True)
+class TaskContext:
+    """Coordinates and hooks handed to a task function as its first argument.
+
+    ``should_stop`` returns ``True`` once the parent has requested this
+    task's cancellation; long-running tasks poll it at safe stopping
+    points (the trainer accepts it directly as ``fit(stop_check=...)``).
+    ``sink`` is the worker's telemetry shard (or ``None``).
+    """
+
+    index: int
+    attempt: int
+    worker: int
+    generation: int
+    should_stop: Callable[[], bool]
+    sink: "TelemetrySink | None"
+
+
+@dataclass
+class TaskOutcome:
+    """Terminal state of one submitted task.
+
+    ``status`` is ``"ok"`` (value holds the function's return),
+    ``"cancelled"`` (never ran, or died while a cancel was pending), or
+    ``"error"`` (``error`` holds the traceback). ``cancel_requested``
+    records that :meth:`TaskPool.cancel` was called for the task even when
+    it still completed — a cooperative stop returns normally, so the
+    *caller* decides what a preempted result means.
+    """
+
+    index: int
+    status: str
+    value: Any = None
+    error: str | None = None
+    worker: int | None = None
+    generation: int | None = None
+    attempt: int = 0
+    seconds: float = 0.0
+    cancel_requested: bool = False
+
+
+@dataclass(frozen=True)
+class _PoolPayload:
+    """What travels over a worker's task queue."""
+
+    index: int
+    fn: Callable
+    args: tuple
+    kwargs: tuple[tuple[str, Any], ...]
+    attempt: int = 0
+
+
+@dataclass
+class _PoolWorker:
+    process: multiprocessing.Process
+    task_queue: "multiprocessing.Queue"
+    cancel_cell: Any  # multiprocessing.Value('q')
+    generation: int
+    in_flight: _PoolPayload | None = None
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _pool_worker_main(
+    worker_id: int,
+    generation: int,
+    task_queue,
+    result_queue,
+    cancel_cell,
+    telemetry_dir,
+    default_dtype: str,
+    fast_math: bool,
+    kill_plan: "WorkerKillPlan | None",
+) -> None:
+    """Worker loop: pull payloads until the ``None`` sentinel arrives."""
+    from ..nn.tensor import set_default_dtype, set_fast_math
+
+    # Mirror the parent's numeric configuration (see engine._worker_main).
+    set_default_dtype(default_dtype)
+    set_fast_math(fast_math)
+
+    sink = None
+    if telemetry_dir is not None:
+        sink = TelemetrySink(
+            telemetry_dir,
+            filename=f"run-w{worker_id}g{generation}.jsonl",
+            run_id=f"w{worker_id}g{generation}",
+        )
+        sink.emit("worker_start", worker=worker_id, generation=generation, pid=os.getpid())
+        sink.flush()
+
+    started = time.perf_counter()
+    busy_seconds = 0.0
+    tasks_done = 0
+    try:
+        while True:
+            payload = task_queue.get()
+            if payload is None:
+                break
+            if kill_plan is not None and kill_plan.should_kill(
+                payload.index, payload.attempt
+            ):
+                # Abrupt death — after draining this process's result-queue
+                # feeder thread (dying while it holds the shared write lock
+                # would wedge every other worker).
+                result_queue.close()
+                result_queue.join_thread()
+                os._exit(kill_plan.EXIT_CODE)
+
+            def should_stop(index=payload.index) -> bool:
+                return cancel_cell.value == index
+
+            ctx = TaskContext(
+                index=payload.index,
+                attempt=payload.attempt,
+                worker=worker_id,
+                generation=generation,
+                should_stop=should_stop,
+                sink=sink,
+            )
+            task_start = time.perf_counter()
+            try:
+                value = payload.fn(ctx, *payload.args, **dict(payload.kwargs))
+            except Exception:
+                seconds = time.perf_counter() - task_start
+                if sink is not None:
+                    sink.emit(
+                        "pool_task", task=payload.index, worker=worker_id,
+                        status="error", seconds=seconds, attempt=payload.attempt,
+                    )
+                    sink.flush()
+                result_queue.put(
+                    ("err", worker_id, payload.index, traceback.format_exc())
+                )
+            else:
+                seconds = time.perf_counter() - task_start
+                busy_seconds += seconds
+                tasks_done += 1
+                if sink is not None:
+                    sink.emit(
+                        "pool_task", task=payload.index, worker=worker_id,
+                        status="ok", seconds=seconds, attempt=payload.attempt,
+                    )
+                    sink.flush()
+                result_queue.put(("ok", worker_id, payload.index, (value, seconds)))
+            finally:
+                # Clear only our own cancellation: the parent may already
+                # have signalled a *different* index for the next task.
+                with cancel_cell.get_lock():
+                    if cancel_cell.value == payload.index:
+                        cancel_cell.value = _NO_CANCEL
+    finally:
+        if sink is not None:
+            total = time.perf_counter() - started
+            sink.emit(
+                "worker_end",
+                worker=worker_id,
+                busy_seconds=busy_seconds,
+                idle_seconds=max(0.0, total - busy_seconds),
+                tasks_done=tasks_done,
+            )
+            sink.close()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class TaskPool:
+    """Dynamically-fed, cancelable worker pool (see module docstring).
+
+    Use as a context manager; workers are spawned lazily on the first
+    :meth:`drain` (so a pool that only ever runs inline never forks).
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        *,
+        telemetry_dir=None,
+        max_task_retries: int = 2,
+        start_method: str | None = None,
+        kill_plan: "WorkerKillPlan | None" = None,
+    ) -> None:
+        self.workers = workers
+        self.telemetry_dir = telemetry_dir
+        self.max_task_retries = max_task_retries
+        self.kill_plan = kill_plan
+        self._ctx = (
+            multiprocessing.get_context(start_method) if workers >= 2 else None
+        )
+        self._result_queue = self._ctx.Queue() if self._ctx is not None else None
+        self._states: dict[int, _PoolWorker] = {}
+        self._pending: deque[_PoolPayload] = deque()
+        self._outcomes: dict[int, TaskOutcome] = {}
+        self._cancel_requested: set[int] = set()
+        self._next_index = 0
+        self._submitted: set[int] = set()
+        self._started = False
+        self._closed = False
+        self._inline_sink: TelemetrySink | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "TaskPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Graceful shutdown: sentinel every worker, then reap stragglers."""
+        if self._closed:
+            return
+        self._closed = True
+        for state in self._states.values():
+            if state.process.is_alive():
+                state.task_queue.put(None)
+        for state in self._states.values():
+            state.process.join(timeout=10)
+        for state in self._states.values():
+            if state.process.is_alive():
+                state.process.terminate()
+                state.process.join(timeout=2)
+        self._states.clear()
+        if self._inline_sink is not None:
+            self._inline_sink.close()
+            self._inline_sink = None
+
+    # -- submission / cancellation ------------------------------------
+    def submit(self, fn: Callable, *args, **kwargs) -> int:
+        """Enqueue ``fn(ctx, *args, **kwargs)``; returns the task index."""
+        if self._closed:
+            raise TaskPoolError("pool is closed")
+        index = self._next_index
+        self._next_index += 1
+        self._pending.append(
+            _PoolPayload(
+                index=index, fn=fn, args=args, kwargs=tuple(kwargs.items())
+            )
+        )
+        self._submitted.add(index)
+        return index
+
+    def cancel(self, index: int) -> str:
+        """Request cancellation of task ``index``.
+
+        Returns ``"done"`` (already finished — nothing to do),
+        ``"cancelled"`` (was still pending; removed without running),
+        ``"signalled"`` (running; its ``should_stop`` now returns True),
+        or ``"unknown"`` (never submitted).
+        """
+        if index not in self._submitted:
+            return "unknown"
+        if index in self._outcomes:
+            return "done"
+        for position, payload in enumerate(self._pending):
+            if payload.index == index:
+                del self._pending[position]
+                self._outcomes[index] = TaskOutcome(
+                    index=index, status="cancelled", attempt=payload.attempt,
+                    cancel_requested=True,
+                )
+                return "cancelled"
+        self._cancel_requested.add(index)
+        for state in self._states.values():
+            if state.in_flight is not None and state.in_flight.index == index:
+                with state.cancel_cell.get_lock():
+                    state.cancel_cell.value = index
+                return "signalled"
+        # Submitted, not finished, not pending, not in flight: the task is
+        # between a worker death and its requeue — the requeue handler will
+        # see the pending cancel and retire it.
+        return "signalled"
+
+    # -- execution ------------------------------------------------------
+    def drain(self, *, raise_on_error: bool = True) -> dict[int, TaskOutcome]:
+        """Run until every submitted task has an outcome; return them all.
+
+        With ``raise_on_error`` (default) the first ``"error"`` outcome
+        raises :class:`TaskPoolError` carrying the worker traceback.
+        """
+        if self.workers < 2:
+            self._drain_inline()
+        else:
+            self._drain_workers()
+        if raise_on_error:
+            for outcome in self._outcomes.values():
+                if outcome.status == "error":
+                    raise TaskPoolError(
+                        f"task {outcome.index} raised in worker "
+                        f"{outcome.worker} (exceptions are deterministic; "
+                        f"not retried):\n{outcome.error}"
+                    )
+        return dict(self._outcomes)
+
+    def outcome(self, index: int) -> TaskOutcome:
+        """The recorded outcome of ``index`` (after :meth:`drain`)."""
+        return self._outcomes[index]
+
+    # -- inline mode ----------------------------------------------------
+    def _inline_telemetry(self) -> "TelemetrySink | None":
+        if self.telemetry_dir is None:
+            return None
+        if self._inline_sink is None:
+            self._inline_sink = TelemetrySink(
+                self.telemetry_dir, filename="run-w0g0.jsonl", run_id="w0g0"
+            )
+            self._inline_sink.emit(
+                "worker_start", worker=0, generation=0, pid=os.getpid()
+            )
+            self._inline_sink.flush()
+        return self._inline_sink
+
+    def _drain_inline(self) -> None:
+        sink = self._inline_telemetry()
+        while self._pending:
+            payload = self._pending.popleft()
+            ctx = TaskContext(
+                index=payload.index, attempt=payload.attempt, worker=0,
+                generation=0, should_stop=lambda: False, sink=sink,
+            )
+            task_start = time.perf_counter()
+            try:
+                value = payload.fn(ctx, *payload.args, **dict(payload.kwargs))
+            except Exception:
+                seconds = time.perf_counter() - task_start
+                if sink is not None:
+                    sink.emit(
+                        "pool_task", task=payload.index, worker=0,
+                        status="error", seconds=seconds, attempt=payload.attempt,
+                    )
+                    sink.flush()
+                self._outcomes[payload.index] = TaskOutcome(
+                    index=payload.index, status="error",
+                    error=traceback.format_exc(), worker=0, generation=0,
+                    attempt=payload.attempt, seconds=seconds,
+                )
+            else:
+                seconds = time.perf_counter() - task_start
+                if sink is not None:
+                    sink.emit(
+                        "pool_task", task=payload.index, worker=0,
+                        status="ok", seconds=seconds, attempt=payload.attempt,
+                    )
+                    sink.flush()
+                self._outcomes[payload.index] = TaskOutcome(
+                    index=payload.index, status="ok", value=value, worker=0,
+                    generation=0, attempt=payload.attempt, seconds=seconds,
+                )
+
+    # -- worker mode ----------------------------------------------------
+    def _spawn(self, worker_id: int, generation: int) -> _PoolWorker:
+        from ..nn.tensor import fast_math_enabled, get_default_dtype
+
+        task_queue = self._ctx.Queue()
+        cancel_cell = self._ctx.Value("q", _NO_CANCEL)
+        process = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(
+                worker_id, generation, task_queue, self._result_queue,
+                cancel_cell, self.telemetry_dir, str(get_default_dtype()),
+                fast_math_enabled(), self.kill_plan,
+            ),
+            daemon=True,
+        )
+        process.start()
+        return _PoolWorker(
+            process=process, task_queue=task_queue, cancel_cell=cancel_cell,
+            generation=generation,
+        )
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for worker_id in range(self.workers):
+            self._states[worker_id] = self._spawn(worker_id, generation=0)
+
+    def _handle(self, message) -> None:
+        kind, worker_id, task_index, data = message
+        state = self._states.get(worker_id)
+        if (
+            state is not None
+            and state.in_flight is not None
+            and state.in_flight.index == task_index
+        ):
+            attempt = state.in_flight.attempt
+            generation = state.generation
+            state.in_flight = None
+        else:  # late result from a worker we already replaced
+            attempt = 0
+            generation = None
+        if task_index in self._outcomes:
+            return  # e.g. cancelled while a death-requeue was in flight
+        if kind == "ok":
+            value, seconds = data
+            self._outcomes[task_index] = TaskOutcome(
+                index=task_index, status="ok", value=value, worker=worker_id,
+                generation=generation, attempt=attempt, seconds=seconds,
+                cancel_requested=task_index in self._cancel_requested,
+            )
+        else:
+            self._outcomes[task_index] = TaskOutcome(
+                index=task_index, status="error", error=data, worker=worker_id,
+                generation=generation, attempt=attempt,
+                cancel_requested=task_index in self._cancel_requested,
+            )
+
+    def _drain_workers(self) -> None:
+        self._ensure_started()
+        outstanding = lambda: len(self._submitted) - len(self._outcomes)
+        while outstanding():
+            for state in self._states.values():
+                if (
+                    state.in_flight is None
+                    and self._pending
+                    and state.process.is_alive()
+                ):
+                    payload = self._pending.popleft()
+                    state.in_flight = payload
+                    state.task_queue.put(payload)
+            try:
+                self._handle(self._result_queue.get(timeout=0.2))
+                continue
+            except queue_module.Empty:
+                pass
+            for worker_id, state in list(self._states.items()):
+                if state.process.is_alive():
+                    continue
+                # The worker may have posted a result just before dying.
+                while True:
+                    try:
+                        self._handle(self._result_queue.get_nowait())
+                    except queue_module.Empty:
+                        break
+                if state.in_flight is not None:
+                    payload = state.in_flight
+                    state.in_flight = None
+                    if payload.index not in self._outcomes:
+                        if payload.index in self._cancel_requested:
+                            # The death *is* the cancellation: the caller
+                            # asked for this task to stop, so don't requeue.
+                            self._outcomes[payload.index] = TaskOutcome(
+                                index=payload.index, status="cancelled",
+                                worker=worker_id, attempt=payload.attempt,
+                                cancel_requested=True,
+                            )
+                        else:
+                            retry = dataclasses.replace(
+                                payload, attempt=payload.attempt + 1
+                            )
+                            if retry.attempt > self.max_task_retries:
+                                raise TaskPoolError(
+                                    f"task {payload.index} lost {retry.attempt} "
+                                    f"workers; giving up after "
+                                    f"{self.max_task_retries} retries"
+                                )
+                            self._pending.appendleft(retry)
+                if self._pending or outstanding():
+                    self._states[worker_id] = self._spawn(
+                        worker_id, state.generation + 1
+                    )
+                else:
+                    del self._states[worker_id]

@@ -1,0 +1,158 @@
+"""Rung-synchronous successive halving (the deterministic core of ASHA).
+
+Budgets grow geometrically — ``min_epochs * eta^k``, capped at
+``max_epochs`` — and every trial alive at rung *r* trains to the same
+cumulative epoch budget before any decision is made. At the rung barrier
+the scheduler ranks trials by validation RMSE and promotes the top
+``max(1, n // eta)``; the rest are killed (their checkpoints stay on disk,
+so a killed trial can always be resumed by a later, wider search).
+
+The *asynchronous* variant of ASHA promotes as soon as enough results
+arrive, which makes the promotion set depend on worker timing. We
+deliberately run rung-synchronously instead: trials within a rung still
+execute concurrently across the pool, but decisions happen only at
+barriers, so the same ``(spec, seed)`` always produces the same schedule,
+the same kills, and the same best config — the repo-wide bit-determinism
+contract. Ties rank by ``(rmse, trial_id)`` and a NaN RMSE ranks last, so
+even pathological trials order deterministically.
+
+``GridScheduler`` is the degenerate one-rung case (every trial trains the
+full budget, nothing is killed): the exhaustive-search baseline that
+``benchmarks/test_tuning.py`` compares ASHA against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["GridScheduler", "RungDecision", "SuccessiveHalving", "make_scheduler"]
+
+
+@dataclass(frozen=True)
+class RungDecision:
+    """Outcome of one rung barrier.
+
+    ``ranked`` lists the rung's trials best-first; ``promoted`` is its
+    prefix that advances to the next rung, ``killed`` the suffix that
+    stops. On the final rung nothing is promoted or killed — ``ranked[0]``
+    is the winner.
+    """
+
+    rung: int
+    budget: int
+    ranked: tuple[int, ...]
+    promoted: tuple[int, ...]
+    killed: tuple[int, ...]
+
+
+def _rank(scores: Mapping[int, float]) -> tuple[int, ...]:
+    """Trial ids best-first: (NaN last, RMSE asc, trial id asc)."""
+
+    def key(trial_id: int):
+        rmse = scores[trial_id]
+        bad = rmse is None or math.isnan(rmse)
+        return (bad, float("inf") if bad else float(rmse), trial_id)
+
+    return tuple(sorted(scores, key=key))
+
+
+class SuccessiveHalving:
+    """Budget ladder + promotion rule (see module docstring)."""
+
+    name = "asha"
+
+    def __init__(self, min_epochs: int = 1, max_epochs: int = 9, eta: int = 3):
+        if min_epochs < 1:
+            raise ValueError("min_epochs must be >= 1")
+        if max_epochs < min_epochs:
+            raise ValueError("max_epochs must be >= min_epochs")
+        if eta < 2:
+            raise ValueError("eta must be >= 2")
+        self.min_epochs = min_epochs
+        self.max_epochs = max_epochs
+        self.eta = eta
+        budgets = []
+        budget = min_epochs
+        while budget < max_epochs:
+            budgets.append(budget)
+            budget = min(budget * eta, max_epochs)
+        budgets.append(max_epochs)
+        #: Cumulative epoch budget per rung (strictly increasing).
+        self.budgets: tuple[int, ...] = tuple(budgets)
+
+    @property
+    def num_rungs(self) -> int:
+        return len(self.budgets)
+
+    def decide(self, rung: int, scores: Mapping[int, float]) -> RungDecision:
+        """Rank a completed rung and split it into promoted / killed."""
+        if not 0 <= rung < self.num_rungs:
+            raise ValueError(f"rung {rung} out of range [0, {self.num_rungs})")
+        if not scores:
+            raise ValueError(f"rung {rung}: no trial scores to rank")
+        ranked = _rank(scores)
+        if rung == self.num_rungs - 1:
+            return RungDecision(
+                rung=rung, budget=self.budgets[rung], ranked=ranked,
+                promoted=(), killed=(),
+            )
+        keep = max(1, len(ranked) // self.eta)
+        return RungDecision(
+            rung=rung, budget=self.budgets[rung], ranked=ranked,
+            promoted=ranked[:keep], killed=ranked[keep:],
+        )
+
+    def describe(self) -> dict:
+        """JSON-friendly identity for the best-config artifact."""
+        return {
+            "name": self.name, "min_epochs": self.min_epochs,
+            "max_epochs": self.max_epochs, "eta": self.eta,
+            "budgets": list(self.budgets),
+        }
+
+
+class GridScheduler:
+    """Exhaustive search: one rung at the full budget, no kills."""
+
+    name = "grid"
+
+    def __init__(self, max_epochs: int = 9):
+        if max_epochs < 1:
+            raise ValueError("max_epochs must be >= 1")
+        self.max_epochs = max_epochs
+        self.budgets: tuple[int, ...] = (max_epochs,)
+
+    @property
+    def num_rungs(self) -> int:
+        return 1
+
+    def decide(self, rung: int, scores: Mapping[int, float]) -> RungDecision:
+        if rung != 0:
+            raise ValueError("grid search has exactly one rung")
+        if not scores:
+            raise ValueError("rung 0: no trial scores to rank")
+        return RungDecision(
+            rung=0, budget=self.max_epochs, ranked=_rank(scores),
+            promoted=(), killed=(),
+        )
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name, "max_epochs": self.max_epochs,
+            "budgets": list(self.budgets),
+        }
+
+
+def make_scheduler(
+    name: str, *, min_epochs: int = 1, max_epochs: int = 9, eta: int = 3
+):
+    """Build a scheduler by name: ``"asha"`` or ``"grid"``."""
+    if name == "asha":
+        return SuccessiveHalving(
+            min_epochs=min_epochs, max_epochs=max_epochs, eta=eta
+        )
+    if name == "grid":
+        return GridScheduler(max_epochs=max_epochs)
+    raise ValueError(f"unknown scheduler {name!r} (use 'asha' or 'grid')")

@@ -1,0 +1,174 @@
+"""Declarative hyperparameter search spaces over :class:`OmniMatchConfig`.
+
+A space *spec* is a JSON-friendly mapping from config field names to one
+distribution each::
+
+    {
+        "learning_rate": {"log_uniform": [0.05, 2.0]},
+        "aux_mix_prob":  {"grid": [0.3, 0.5, 0.7]},
+        "dropout":       {"choice": [0.1, 0.2, 0.3]},
+        "alpha":         {"uniform": [0.05, 0.4]},
+    }
+
+``grid`` values are crossed exhaustively; ``choice`` / ``uniform`` /
+``log_uniform`` are *sampled*: for every grid point, ``num_samples`` joint
+assignments are drawn from a ``numpy`` generator seeded by the caller, so
+the same ``(spec, seed, num_samples)`` always enumerates the same trials
+in the same order — the first link in the tuner's determinism chain.
+
+Every assignment is validated by constructing the trial's
+:class:`OmniMatchConfig` (its ``__post_init__`` rejects out-of-range
+values), and every trial config forces ``early_stopping=False``: the
+scheduler owns stopping — rung budgets, not patience, decide how long a
+trial trains.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core import OmniMatchConfig
+
+__all__ = ["SearchSpaceError", "TrialSpec", "enumerate_trials", "parse_space"]
+
+_DIST_KINDS = ("grid", "choice", "uniform", "log_uniform")
+
+#: Fields the tuner itself owns; tuning them would fight the scheduler.
+_RESERVED_FIELDS = frozenset({"epochs", "early_stopping", "patience"})
+
+_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(OmniMatchConfig))
+
+
+class SearchSpaceError(ValueError):
+    """The search-space spec is malformed."""
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One fully-assigned trial: its id, parameters, and config.
+
+    ``trial_id`` is the trial's position in enumeration order and its
+    identity everywhere downstream — checkpoint directory names, telemetry
+    tags, rung decisions, and the best-config artifact.
+    """
+
+    trial_id: int
+    params: tuple[tuple[str, Any], ...]
+    config: OmniMatchConfig
+
+
+def parse_space(spec: Mapping[str, Any]) -> dict[str, tuple[str, tuple]]:
+    """Validate a spec; returns ``{field: (dist_kind, values)}``.
+
+    ``values`` is the grid/choice tuple, or ``(low, high)`` for the
+    continuous distributions.
+    """
+    if not isinstance(spec, Mapping) or not spec:
+        raise SearchSpaceError("search space must be a non-empty mapping")
+    parsed: dict[str, tuple[str, tuple]] = {}
+    for name in sorted(spec):
+        if name not in _CONFIG_FIELDS:
+            raise SearchSpaceError(
+                f"unknown config field {name!r} (not an OmniMatchConfig field)"
+            )
+        if name in _RESERVED_FIELDS:
+            raise SearchSpaceError(
+                f"field {name!r} is owned by the tuner (rung budgets replace "
+                "epochs/early_stopping/patience) and cannot be tuned"
+            )
+        entry = spec[name]
+        if not isinstance(entry, Mapping) or len(entry) != 1:
+            raise SearchSpaceError(
+                f"{name}: each entry must be a one-key mapping naming a "
+                f"distribution, one of {_DIST_KINDS}"
+            )
+        (kind, values), = entry.items()
+        if kind not in _DIST_KINDS:
+            raise SearchSpaceError(
+                f"{name}: unknown distribution {kind!r}; use one of {_DIST_KINDS}"
+            )
+        if kind in ("grid", "choice"):
+            values = tuple(values)
+            if not values:
+                raise SearchSpaceError(f"{name}: {kind} needs at least one value")
+        else:
+            values = tuple(float(v) for v in values)
+            if len(values) != 2 or not values[0] < values[1]:
+                raise SearchSpaceError(
+                    f"{name}: {kind} needs [low, high] with low < high"
+                )
+            if kind == "log_uniform" and values[0] <= 0:
+                raise SearchSpaceError(f"{name}: log_uniform needs low > 0")
+        parsed[name] = (kind, values)
+    return parsed
+
+
+def _sample(kind: str, values: tuple, rng: np.random.Generator) -> Any:
+    if kind == "choice":
+        return values[int(rng.integers(len(values)))]
+    low, high = values
+    if kind == "uniform":
+        return float(rng.uniform(low, high))
+    return float(math.exp(rng.uniform(math.log(low), math.log(high))))
+
+
+def enumerate_trials(
+    spec: Mapping[str, Any],
+    base_config: OmniMatchConfig | None = None,
+    *,
+    seed: int = 0,
+    num_samples: int = 1,
+    max_epochs: int | None = None,
+) -> list[TrialSpec]:
+    """Expand a spec into the deterministic, ordered trial list.
+
+    Grid fields are crossed exhaustively in sorted-field-name order; for
+    each grid point, ``num_samples`` joint draws of the sampled fields are
+    taken from one generator seeded with ``seed`` (draws happen in sorted
+    field order within each sample, so the stream is reproducible). A
+    spec with no sampled fields ignores ``num_samples``.
+
+    ``max_epochs`` (when given) is written into every trial config's
+    ``epochs`` so a config reached at any rung carries the full budget.
+    """
+    if num_samples < 1:
+        raise SearchSpaceError("num_samples must be >= 1")
+    parsed = parse_space(spec)
+    base = base_config if base_config is not None else OmniMatchConfig()
+    grid_fields = [n for n, (kind, _) in parsed.items() if kind == "grid"]
+    sampled_fields = [n for n, (kind, _) in parsed.items() if kind != "grid"]
+    grid_values = [parsed[n][1] for n in grid_fields]
+    draws = num_samples if sampled_fields else 1
+    rng = np.random.default_rng(seed)
+
+    overrides: dict[str, Any] = {"early_stopping": False}
+    if max_epochs is not None:
+        overrides["epochs"] = int(max_epochs)
+
+    trials: list[TrialSpec] = []
+    for point in itertools.product(*grid_values) if grid_fields else [()]:
+        for _ in range(draws):
+            assignment = dict(zip(grid_fields, point))
+            for name in sampled_fields:
+                kind, values = parsed[name]
+                assignment[name] = _sample(kind, values, rng)
+            try:
+                config = dataclasses.replace(base, **assignment, **overrides)
+            except (ValueError, TypeError) as error:
+                raise SearchSpaceError(
+                    f"invalid assignment {assignment}: {error}"
+                ) from error
+            trials.append(
+                TrialSpec(
+                    trial_id=len(trials),
+                    params=tuple(sorted(assignment.items())),
+                    config=config,
+                )
+            )
+    return trials

@@ -1,0 +1,160 @@
+"""Budgeted rung execution: what one tuner task runs inside a pool worker.
+
+:func:`run_rung` trains one trial up to its rung's *cumulative* epoch
+budget. Rung 0 starts fresh; every later rung **resumes from the trial's
+newest checkpoint** (written by the previous rung at its final epoch) and
+trains only the marginal epochs — a promoted trial never recomputes an
+epoch it already paid for. Early stopping is disabled in trial configs
+(the scheduler owns stopping), ``validate_every=1`` records validation
+RMSE every epoch, and the pool's ``should_stop`` hook is wired through to
+``fit(stop_check=...)`` so a parent-side cancel preempts the trial at an
+epoch boundary with its checkpoint intact.
+
+Telemetry is the load-bearing result path: every event the trainer emits
+during the rung is stamped with ``trial``/``rung`` by
+:class:`TrialTaggedSink`, and the rung ends with a ``tune_trial`` event
+carrying the final validation RMSE and the per-epoch curve. The scheduler
+ranks rungs by reading those events back out of the worker shards — the
+function's return value is transport metadata only.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from ..core import OmniMatchConfig, OmniMatchTrainer
+from ..data import ColdStartSplit, CrossDomainDataset
+from ..data.batching import DocumentStore
+from ..parallel.pool import TaskContext
+from ..parallel.sharing import (
+    SharedDatasetRef,
+    SharedStoreRef,
+    attach_dataset,
+    attach_document_store,
+)
+
+__all__ = ["TrialTaggedSink", "run_rung"]
+
+#: Per-process cache of attached shared-memory datasets (keyed by segment
+#: name); a worker runs many rungs against the same world.
+_DATASET_CACHE: dict[str, CrossDomainDataset] = {}
+
+
+class TrialTaggedSink:
+    """Stamp ``trial``/``rung`` into every event written to a shard sink.
+
+    Worker shards interleave events from many rung tasks; the tags are
+    what lets the scheduler (and the report's sensitivity table) attribute
+    each ``epoch`` event to its trial afterwards. ``close`` only flushes —
+    the pool owns the underlying shard sink's lifetime.
+    """
+
+    def __init__(self, sink, trial: int, rung: int) -> None:
+        self._sink = sink
+        self.trial = trial
+        self.rung = rung
+
+    def emit(self, kind: str, **fields):
+        fields.setdefault("trial", self.trial)
+        fields.setdefault("rung", self.rung)
+        return self._sink.emit(kind, **fields)
+
+    def flush(self, fsync: bool = False) -> None:
+        self._sink.flush(fsync=fsync)
+
+    def close(self) -> None:
+        self._sink.flush()
+
+
+def _resolve_dataset(ref: "SharedDatasetRef | CrossDomainDataset") -> CrossDomainDataset:
+    if isinstance(ref, SharedDatasetRef):
+        cached = _DATASET_CACHE.get(ref.shm.name)
+        if cached is None:
+            if len(_DATASET_CACHE) >= 2:
+                _DATASET_CACHE.clear()
+            cached = attach_dataset(ref)
+            _DATASET_CACHE[ref.shm.name] = cached
+        return cached
+    return ref
+
+
+def run_rung(
+    ctx: TaskContext,
+    *,
+    trial_id: int,
+    rung: int,
+    budget: int,
+    config: OmniMatchConfig,
+    dataset_ref: "SharedDatasetRef | CrossDomainDataset",
+    store_ref: "SharedStoreRef | DocumentStore | None",
+    split: ColdStartSplit,
+    trial_dir: str,
+    resume: bool,
+) -> dict[str, Any]:
+    """Train ``trial_id`` to cumulative epoch ``budget``; checkpoint at the end.
+
+    Returns ``{"trial", "rung", "epochs", "valid_rmse", "resumed_from"}``
+    — metadata for bookkeeping. The authoritative RMSE travels through the
+    telemetry shard (``tune_trial`` event).
+    """
+    dataset = _resolve_dataset(dataset_ref)
+    store = None
+    attached_pack = None
+    if isinstance(store_ref, SharedStoreRef):
+        store = attach_document_store(store_ref, dataset, split)
+        attached_pack = store.attached_pack
+    elif store_ref is not None:
+        store = store_ref
+
+    tagged = (
+        TrialTaggedSink(ctx.sink, trial_id, rung) if ctx.sink is not None else None
+    )
+    try:
+        trainer = OmniMatchTrainer(
+            dataset, split, config, telemetry=tagged, store=store
+        )
+        result = trainer.fit(
+            budget,
+            validate_every=1,
+            resume_from=trial_dir if resume else None,
+            checkpoint_every=budget,
+            checkpoint_dir=trial_dir,
+            keep_last=1,
+            stop_check=ctx.should_stop,
+        )
+    finally:
+        if attached_pack is not None:
+            attached_pack.close()
+
+    history = result.history
+    # The health log accumulates across rungs; the *last* resume event is
+    # this fit's (its epoch = the previous rung's budget).
+    resumed_from = next(
+        (event.epoch for event in reversed(result.health) if event.kind == "resume"),
+        0,
+    ) if resume else 0
+    curve = {stats.epoch: stats.valid_rmse for stats in history}
+    final = history[-1] if history else None
+    status = "done" if history and final.epoch >= budget else "preempted"
+    if ctx.sink is not None:
+        ctx.sink.emit(
+            "tune_trial",
+            trial=trial_id,
+            rung=rung,
+            status=status,
+            budget=budget,
+            epochs=final.epoch if final is not None else resumed_from,
+            valid_rmse=final.valid_rmse if final is not None else None,
+            curve={str(epoch): rmse for epoch, rmse in sorted(curve.items())},
+        )
+        ctx.sink.flush()
+    return {
+        "trial": trial_id,
+        "rung": rung,
+        "epochs": final.epoch if final is not None else resumed_from,
+        "valid_rmse": final.valid_rmse if final is not None else None,
+        "resumed_from": resumed_from,
+        "status": status,
+        "checkpoint_dir": str(Path(trial_dir)),
+    }

@@ -68,3 +68,60 @@ class TestCheckpointRoundTrip:
         save_checkpoint(trained, tmp_path / "ckpt")
         reloaded = load_checkpoint(tmp_path / "ckpt", dataset, split)
         assert reloaded.history == []
+
+
+class TestPruneCheckpoints:
+    """Pruning must never report a deletion that did not happen."""
+
+    @staticmethod
+    def _make_run(tmp_path, epochs):
+        from repro.core.checkpoint import checkpoint_directory_name
+
+        run = tmp_path / "run"
+        for epoch in epochs:
+            child = run / checkpoint_directory_name(epoch)
+            child.mkdir(parents=True)
+            (child / "marker.txt").write_text("x")
+        return run
+
+    def test_all_removals_succeed(self, tmp_path):
+        from repro.core.checkpoint import checkpoint_directory_name, prune_checkpoints
+
+        run = self._make_run(tmp_path, [1, 2, 3])
+        removed = prune_checkpoints(run, keep_last=1)
+        assert [p.name for p in removed] == [
+            checkpoint_directory_name(1), checkpoint_directory_name(2),
+        ]
+        assert (run / checkpoint_directory_name(3)).exists()
+
+    def test_silent_rmtree_failure_surfaces(self, tmp_path, monkeypatch):
+        # Regression: rmtree(ignore_errors=True) can fail without raising
+        # (permissions, files pinned open); prune used to append the path to
+        # ``removed`` and emit the telemetry event anyway.
+        import shutil
+
+        from repro.core import checkpoint as ckpt
+        from repro.obs import TelemetrySink, read_events, use_sink
+
+        run = self._make_run(tmp_path, [1, 2, 3])
+        stuck = run / ckpt.checkpoint_directory_name(1)
+        real_rmtree = shutil.rmtree
+
+        def selective_rmtree(path, **kwargs):
+            if str(path) == str(stuck):
+                return  # swallow the failure, as ignore_errors=True would
+            real_rmtree(path, **kwargs)
+
+        monkeypatch.setattr(ckpt.shutil, "rmtree", selective_rmtree)
+        sink = TelemetrySink(tmp_path / "obs", run_id="prune-fail")
+        with use_sink(sink), pytest.warns(RuntimeWarning, match="could not prune"):
+            removed = ckpt.prune_checkpoints(run, keep_last=1)
+        sink.close()
+
+        assert [p.name for p in removed] == [ckpt.checkpoint_directory_name(2)]
+        assert stuck.exists()
+        [event] = [
+            e for e in read_events(sink.path) if e["kind"] == "checkpoint_prune"
+        ]
+        assert event["removed"] == [str(run / ckpt.checkpoint_directory_name(2))]
+        assert event["failed"] == [str(stuck)]

@@ -28,6 +28,21 @@ class TestPairedBootstrap:
         assert not result.significant_at_95
         assert result.delta_mean == pytest.approx(0.0, abs=1e-12)
 
+    def test_identical_predictions_win_rate_is_half(self):
+        # Regression: ties used to count as losses for A, so comparing a
+        # method against itself read win_rate_a == 0.0 — the most
+        # misleading possible answer for the near-identical-methods case
+        # significance testing exists for. Ties now count as half a win.
+        actual, good, _ = make_data()
+        result = paired_bootstrap(actual, good, good.copy(), num_samples=200)
+        assert result.win_rate_a == 0.5
+        assert result.ties == result.num_samples == 200
+
+    def test_clear_winner_has_no_ties(self):
+        actual, good, bad = make_data()
+        result = paired_bootstrap(actual, good, bad, num_samples=200)
+        assert result.ties == 0
+
     def test_observed_metrics_match_direct_computation(self):
         from repro.eval import rmse
 

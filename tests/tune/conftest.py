@@ -1,0 +1,14 @@
+"""Shared fixtures for the tuner suite: one tiny world, one tiny config."""
+
+import pytest
+
+from repro.data import generate_scenario
+
+WORLD_PARAMS = dict(
+    num_users=60, num_items_per_domain=30, reviews_per_user_mean=4.0, seed=11
+)
+
+
+@pytest.fixture(scope="session")
+def world():
+    return generate_scenario("amazon", "books", "movies", **WORLD_PARAMS)

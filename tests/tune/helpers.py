@@ -1,0 +1,14 @@
+"""Tiny model config shared by the tuner tests."""
+
+from repro.core import OmniMatchConfig
+
+
+def tiny_config(**overrides) -> OmniMatchConfig:
+    """Smallest model that still trains: keeps tuner tests sub-second."""
+    base = dict(
+        embed_dim=12, num_filters=3, kernel_sizes=(2, 3), invariant_dim=8,
+        specific_dim=8, projection_dim=6, doc_len=16, dropout=0.2,
+        vocab_size=200, batch_size=32, seed=7,
+    )
+    base.update(overrides)
+    return OmniMatchConfig(**base)

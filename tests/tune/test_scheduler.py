@@ -1,0 +1,109 @@
+"""Successive-halving budget ladders and rung decisions."""
+
+import math
+
+import pytest
+
+from repro.tune import GridScheduler, SuccessiveHalving, make_scheduler
+
+
+class TestBudgetLadder:
+    @pytest.mark.parametrize(
+        "min_epochs,max_epochs,eta,expected",
+        [
+            (1, 9, 3, (1, 3, 9)),
+            (1, 4, 2, (1, 2, 4)),
+            (2, 20, 3, (2, 6, 18, 20)),
+            (5, 5, 3, (5,)),
+            (1, 2, 3, (1, 2)),
+        ],
+    )
+    def test_ladder(self, min_epochs, max_epochs, eta, expected):
+        sched = SuccessiveHalving(min_epochs, max_epochs, eta)
+        assert sched.budgets == expected
+        assert sched.num_rungs == len(expected)
+
+    def test_budgets_strictly_increase(self):
+        budgets = SuccessiveHalving(1, 40, 3).budgets
+        assert all(a < b for a, b in zip(budgets, budgets[1:]))
+        assert budgets[-1] == 40
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(min_epochs=0), dict(min_epochs=4, max_epochs=2), dict(eta=1)]
+    )
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            SuccessiveHalving(**{"min_epochs": 1, "max_epochs": 9, "eta": 3, **kwargs})
+
+
+class TestDecide:
+    def test_promotes_top_fraction(self):
+        sched = SuccessiveHalving(1, 9, 3)
+        scores = {i: 1.0 + 0.1 * i for i in range(9)}
+        decision = sched.decide(0, scores)
+        assert decision.ranked == tuple(range(9))
+        assert decision.promoted == (0, 1, 2)
+        assert decision.killed == tuple(range(3, 9))
+
+    def test_always_keeps_at_least_one(self):
+        sched = SuccessiveHalving(1, 9, 3)
+        decision = sched.decide(0, {7: 1.5, 3: 1.2})
+        assert decision.promoted == (3,)
+        assert decision.killed == (7,)
+
+    def test_final_rung_kills_nothing(self):
+        sched = SuccessiveHalving(1, 9, 3)
+        decision = sched.decide(sched.num_rungs - 1, {0: 1.0, 1: 2.0})
+        assert decision.promoted == ()
+        assert decision.killed == ()
+        assert decision.ranked[0] == 0
+
+    def test_ties_break_by_trial_id(self):
+        sched = SuccessiveHalving(1, 9, 3)
+        decision = sched.decide(0, {5: 1.0, 2: 1.0, 8: 1.0})
+        assert decision.ranked == (2, 5, 8)
+
+    def test_nan_ranks_last(self):
+        sched = SuccessiveHalving(1, 9, 3)
+        decision = sched.decide(0, {0: math.nan, 1: 9.9, 2: None})
+        assert decision.ranked == (1, 0, 2)
+        assert decision.promoted == (1,)
+
+    def test_out_of_range_rung(self):
+        sched = SuccessiveHalving(1, 9, 3)
+        with pytest.raises(ValueError, match="out of range"):
+            sched.decide(sched.num_rungs, {0: 1.0})
+
+    def test_empty_scores(self):
+        with pytest.raises(ValueError, match="no trial scores"):
+            SuccessiveHalving(1, 9, 3).decide(0, {})
+
+
+class TestGridScheduler:
+    def test_single_full_budget_rung(self):
+        sched = GridScheduler(max_epochs=7)
+        assert sched.budgets == (7,)
+        decision = sched.decide(0, {0: 2.0, 1: 1.0})
+        assert decision.ranked == (1, 0)
+        assert decision.promoted == () and decision.killed == ()
+        with pytest.raises(ValueError, match="one rung"):
+            sched.decide(1, {0: 1.0})
+
+
+class TestMakeScheduler:
+    def test_by_name(self):
+        assert isinstance(make_scheduler("asha", min_epochs=1, max_epochs=9, eta=3),
+                          SuccessiveHalving)
+        assert isinstance(make_scheduler("grid", min_epochs=1, max_epochs=9, eta=3),
+                          GridScheduler)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("hyperband", min_epochs=1, max_epochs=9, eta=3)
+
+    def test_describe_is_jsonable(self):
+        import json
+
+        for name in ("asha", "grid"):
+            sched = make_scheduler(name, min_epochs=1, max_epochs=9, eta=3)
+            assert json.loads(json.dumps(sched.describe()))["name"] == name

@@ -1,0 +1,112 @@
+"""Search-space parsing, validation, and deterministic trial enumeration."""
+
+import pytest
+
+from repro.core import OmniMatchConfig
+from repro.tune import SearchSpaceError, enumerate_trials, parse_space
+
+
+class TestParseSpace:
+    def test_valid_spec_round_trips(self):
+        parsed = parse_space(
+            {
+                "learning_rate": {"log_uniform": [0.05, 2.0]},
+                "alpha": {"grid": [0.1, 0.2]},
+                "dropout": {"choice": [0.1, 0.3]},
+                "beta": {"uniform": [0.01, 0.1]},
+            }
+        )
+        assert parsed["alpha"] == ("grid", (0.1, 0.2))
+        assert parsed["learning_rate"] == ("log_uniform", (0.05, 2.0))
+        assert parsed["dropout"][0] == "choice"
+        assert parsed["beta"] == ("uniform", (0.01, 0.1))
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(SearchSpaceError, match="non-empty"):
+            parse_space({})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SearchSpaceError, match="unknown config field"):
+            parse_space({"not_a_field": {"grid": [1]}})
+
+    @pytest.mark.parametrize("field", ["epochs", "early_stopping", "patience"])
+    def test_reserved_fields_rejected(self, field):
+        with pytest.raises(SearchSpaceError, match="owned by the tuner"):
+            parse_space({field: {"grid": [1]}})
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(SearchSpaceError, match="unknown distribution"):
+            parse_space({"alpha": {"gaussian": [0, 1]}})
+
+    def test_multi_key_entry_rejected(self):
+        with pytest.raises(SearchSpaceError, match="one-key mapping"):
+            parse_space({"alpha": {"grid": [0.1], "choice": [0.2]}})
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(SearchSpaceError, match="at least one value"):
+            parse_space({"alpha": {"grid": []}})
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(SearchSpaceError, match="low < high"):
+            parse_space({"alpha": {"uniform": [0.5, 0.1]}})
+
+    def test_log_uniform_needs_positive_low(self):
+        with pytest.raises(SearchSpaceError, match="low > 0"):
+            parse_space({"learning_rate": {"log_uniform": [0.0, 1.0]}})
+
+
+class TestEnumerateTrials:
+    SPEC = {
+        "learning_rate": {"log_uniform": [0.1, 2.0]},
+        "alpha": {"grid": [0.1, 0.2, 0.3]},
+    }
+
+    def test_grid_crossed_with_samples(self):
+        trials = enumerate_trials(self.SPEC, seed=5, num_samples=2)
+        assert len(trials) == 6  # 3 grid points x 2 joint draws
+        assert [t.trial_id for t in trials] == list(range(6))
+
+    def test_same_seed_same_trials(self):
+        a = enumerate_trials(self.SPEC, seed=5, num_samples=2)
+        b = enumerate_trials(self.SPEC, seed=5, num_samples=2)
+        assert [t.params for t in a] == [t.params for t in b]
+        assert [t.config for t in a] == [t.config for t in b]
+
+    def test_different_seed_different_draws(self):
+        a = enumerate_trials(self.SPEC, seed=5)
+        b = enumerate_trials(self.SPEC, seed=6)
+        assert [t.params for t in a] != [t.params for t in b]
+
+    def test_pure_grid_ignores_num_samples(self):
+        trials = enumerate_trials(
+            {"alpha": {"grid": [0.1, 0.2]}}, seed=0, num_samples=7
+        )
+        assert len(trials) == 2
+
+    def test_scheduler_owns_stopping(self):
+        trials = enumerate_trials(self.SPEC, seed=0, max_epochs=9)
+        for trial in trials:
+            assert trial.config.early_stopping is False
+            assert trial.config.epochs == 9
+
+    def test_base_config_fields_survive(self):
+        base = OmniMatchConfig(embed_dim=12, num_filters=3, seed=99)
+        trials = enumerate_trials(self.SPEC, base, seed=0)
+        for trial in trials:
+            assert trial.config.embed_dim == 12
+            assert trial.config.seed == 99
+
+    def test_params_recorded_sorted(self):
+        trials = enumerate_trials(self.SPEC, seed=0)
+        for trial in trials:
+            names = [name for name, _ in trial.params]
+            assert names == sorted(names) == ["alpha", "learning_rate"]
+            assert trial.config.alpha == dict(trial.params)["alpha"]
+
+    def test_invalid_assignment_is_space_error(self):
+        with pytest.raises(SearchSpaceError, match="invalid assignment"):
+            enumerate_trials({"aux_mix_prob": {"grid": [2.0]}}, seed=0)
+
+    def test_bad_num_samples(self):
+        with pytest.raises(SearchSpaceError, match="num_samples"):
+            enumerate_trials(self.SPEC, seed=0, num_samples=0)
