@@ -96,6 +96,11 @@ class OmniMatchConfig:
     # recovers the seed numerics (and is what gradcheck uses)
     legacy_path: bool = False  # True restores the unfused per-sample
     # reference path — the baseline side of benchmarks/test_throughput.py
+    graph_opt: bool = True  # tape-level graph optimizer (repro.nn.graph):
+    # automatic chain fusion + arena buffer reuse; bit-identical to the
+    # unfused tape, so it defaults on whenever the fast path is active
+    # (ignored under legacy_path, and suspended with fast math during
+    # divergence kernel-fallback epochs)
 
     def __post_init__(self) -> None:
         if self.dtype not in ("float32", "float64"):

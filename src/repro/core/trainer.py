@@ -201,9 +201,19 @@ class OmniMatchTrainer:
             field=self.config.field,
             seed=self.config.seed,
         )
-        self._aux_doc_cache: dict[str, np.ndarray] = {}
+        # Auxiliary documents are deterministic per user (the generator uses
+        # a per-user RNG), so encoding them here instead of lazily during the
+        # first epoch changes nothing numerically — it only moves the one-off
+        # tokenization cost out of the training loop.
+        self._aux_doc_cache: dict[str, np.ndarray] = {
+            user_id: self.store.encode_reviews(self.aux_generator.generate(user_id))
+            for user_id in split.train_users
+        }
         self._aux_matrix: np.ndarray | None = None
         self._aux_filled: np.ndarray | None = None
+        # Same reasoning for the document matrices: packing them is memoized
+        # and deterministic, so force it now rather than mid-first-epoch.
+        self.store.build_matrices()
 
     # ------------------------------------------------------------------
     # Observability plumbing
@@ -570,6 +580,11 @@ class OmniMatchTrainer:
         fallback_next = False
         self.model.train()
         previous_fast = nn.set_fast_math(not self.config.legacy_path)
+        previous_graph = nn.set_graph_optimizer(
+            nn.GraphOptimizer()
+            if self.config.graph_opt and not self.config.legacy_path
+            else None
+        )
         status = "aborted"
         try:
             epoch = start_epoch
@@ -584,8 +599,17 @@ class OmniMatchTrainer:
                         epoch=epoch, kind="kernel_fallback",
                         detail="retrying epoch on reference (non-fast-math) kernels",
                     ))
+                alloc_before = (
+                    nn.tensor_stats() if nn.tensor_stats_enabled() else None
+                )
                 try:
+                    # A fallback epoch retries on the reference kernels with
+                    # the graph optimizer suspended too: the point is to rule
+                    # out the whole fast path, fusion and arena included.
                     was_fast = nn.set_fast_math(False) if use_fallback else None
+                    was_graph = (
+                        nn.set_graph_optimizer(None) if use_fallback else None
+                    )
                     try:
                         with self.tracer.span("epoch"):
                             stats = self._run_epoch(
@@ -594,6 +618,7 @@ class OmniMatchTrainer:
                     finally:
                         if use_fallback:
                             nn.set_fast_math(was_fast)
+                            nn.set_graph_optimizer(was_graph)
                 except _DivergenceDetected as detected:
                     self._note_health(health, HealthEvent(
                         epoch=epoch, kind=detected.kind, batch=detected.batch,
@@ -640,6 +665,23 @@ class OmniMatchTrainer:
                 self.metrics.set_gauge("rng_checksum", rng_digest)
                 if stats.valid_rmse is not None:
                     self.metrics.set_gauge("valid_rmse", stats.valid_rmse)
+                extra: dict = {}
+                if alloc_before is not None:
+                    after = nn.tensor_stats()
+                    # Per-epoch allocation deltas (peak_bytes is a running
+                    # per-step high-water mark, reported as-is). The schema
+                    # allows extra fields, so old readers are unaffected.
+                    extra["alloc"] = {
+                        key: after[key] - alloc_before[key]
+                        for key in (
+                            "graph_bytes",
+                            "backward_bytes",
+                            "arena_hits",
+                            "arena_misses",
+                            "fused_ops",
+                        )
+                    }
+                    extra["alloc"]["peak_bytes"] = after["peak_bytes"]
                 self._emit(
                     "epoch",
                     epoch=stats.epoch,
@@ -652,6 +694,7 @@ class OmniMatchTrainer:
                     domain=stats.domain,
                     valid_rmse=stats.valid_rmse,
                     rng=rng_digest,
+                    **extra,
                 )
                 stopping = False
                 # Poll for cooperative preemption at the epoch boundary so
@@ -708,6 +751,7 @@ class OmniMatchTrainer:
             raise
         finally:
             nn.set_fast_math(previous_fast)
+            nn.set_graph_optimizer(previous_graph)
             self._finish_run(status, history)
         if best_state is not None:
             self.model.load_state_dict(best_state)

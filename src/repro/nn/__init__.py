@@ -15,6 +15,15 @@ from .conv import (
     max_over_time,
     mean_over_time,
 )
+from .graph import (
+    Arena,
+    GraphOptimizer,
+    graph_optimizer,
+    graph_scope,
+    set_graph_optimizer,
+    tape_ops,
+    tape_size,
+)
 from .layers import MLP, Dropout, Embedding, LayerNorm, Linear, ReLU, Tanh
 from .loss import (
     CrossEntropyLoss,
@@ -64,6 +73,13 @@ __all__ = [
     "tensor_stats_enabled",
     "tensor_stats",
     "reset_tensor_stats",
+    "Arena",
+    "GraphOptimizer",
+    "set_graph_optimizer",
+    "graph_optimizer",
+    "graph_scope",
+    "tape_ops",
+    "tape_size",
     "clear_conv_workspace",
     "conv_bank_pool",
     "max_mean_pool",

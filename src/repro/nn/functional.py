@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor, get_default_dtype
+from .tensor import Tensor, _matmul_arena, as_tensor, get_default_dtype
 
 __all__ = [
     "relu",
@@ -104,7 +104,7 @@ def linear_relu(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor
     """
     if x.data.ndim != 2:
         raise ValueError(f"linear_relu expects 2-D input, got shape {x.data.shape}")
-    out_data = x.data @ weight.data.T
+    out_data, served = _matmul_arena(x.data, weight.data.T)
     if bias is not None:
         out_data += bias.data
     np.maximum(out_data, 0.0, out=out_data)
@@ -113,14 +113,16 @@ def linear_relu(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor
     def backward(grad: np.ndarray) -> None:
         masked = grad * mask
         if x.requires_grad:
-            x._accumulate(masked @ weight.data, owned=True)
+            g, from_arena = _matmul_arena(masked, weight.data)
+            x._accumulate(g, owned=True, arena=from_arena)
         if weight.requires_grad:
-            weight._accumulate(masked.T @ x.data, owned=True)
+            g, from_arena = _matmul_arena(masked.T, x.data)
+            weight._accumulate(g, owned=True, arena=from_arena)
         if bias is not None and bias.requires_grad:
             bias._accumulate(masked.sum(axis=0), owned=True)
 
     parents = (x, weight) + ((bias,) if bias is not None else ())
-    return Tensor._make(out_data, parents, backward)
+    return Tensor._make(out_data, parents, backward, op="linear_relu", arena=served)
 
 
 def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from .module import Parameter
+from .tensor import _step_boundary
 
 __all__ = ["Optimizer", "SGD", "Adam", "Adadelta", "clip_grad_norm"]
 
@@ -163,6 +164,9 @@ class SGD(Optimizer):
             else:
                 update = grad
             param.data -= self.lr * update
+        # Step boundary: recycle the graph optimizer's arena (gradients are
+        # consumed, the step's activations are dead) and mark peak stats.
+        _step_boundary()
 
 
 class Adam(Optimizer):
@@ -220,6 +224,7 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        _step_boundary()
 
 
 class Adadelta(Optimizer):
@@ -303,3 +308,4 @@ class Adadelta(Optimizer):
             sq_delta += b
             a *= self.lr
             param.data -= a
+        _step_boundary()

@@ -121,7 +121,65 @@ def fast_math_enabled() -> bool:
 TENSOR_STATS_ENV = "REPRO_TENSOR_STATS"
 
 _TENSOR_STATS_ENABLED = os.environ.get(TENSOR_STATS_ENV, "").strip() not in ("", "0")
-_TENSOR_STATS = {"graph_tensors": 0, "graph_bytes": 0, "matmul_flops": 0}
+_TENSOR_STATS = {
+    "graph_tensors": 0,
+    "graph_bytes": 0,
+    "matmul_flops": 0,
+    "backward_bytes": 0,
+    "peak_bytes": 0,
+    "arena_hits": 0,
+    "arena_misses": 0,
+    "fused_ops": 0,
+}
+
+# Fresh bytes (graph_bytes + backward_bytes) at the last optimizer-step
+# boundary; _mark_step() turns the delta since then into ``peak_bytes``.
+_STEP_BASE = [0]
+
+# The active graph optimizer (repro.nn.graph.GraphOptimizer) or None.
+# Installed via _set_graph() so tensor ops can serve output buffers from
+# its arena and hand fresh nodes to its fusion pass without importing the
+# graph module (which imports this one).
+_GRAPH = None
+
+# Mirror of the active arena's ``min_bytes``, kept as a module global so hot
+# call sites can decline small buffers with one attribute-free comparison
+# instead of a ``request`` call that would decline them anyway.
+_ARENA_MIN = 0
+
+
+def _set_graph(graph):
+    """Install ``graph`` as the active optimizer; returns the previous one."""
+    global _GRAPH, _ARENA_MIN
+    previous = _GRAPH
+    _GRAPH = graph
+    _ARENA_MIN = graph.arena.min_bytes if graph is not None else 0
+    return previous
+
+
+def _mark_step() -> None:
+    """Record an optimizer-step boundary for ``peak_bytes`` accounting."""
+    if not _TENSOR_STATS_ENABLED:
+        return
+    current = _TENSOR_STATS["graph_bytes"] + _TENSOR_STATS["backward_bytes"]
+    delta = current - _STEP_BASE[0]
+    if delta > _TENSOR_STATS["peak_bytes"]:
+        _TENSOR_STATS["peak_bytes"] = delta
+    _STEP_BASE[0] = current
+
+
+def _step_boundary() -> None:
+    """Optimizer-step hook: cycle the arena and mark peak allocation.
+
+    Called from ``Optimizer.step`` implementations so every training loop —
+    the OmniMatch trainer and each baseline ``fit`` — gets per-step arena
+    recycling without per-model wiring.
+    """
+    graph = _GRAPH
+    if graph is not None:
+        graph.end_step()
+    elif _TENSOR_STATS_ENABLED:
+        _mark_step()
 
 
 def set_tensor_stats(enabled: bool) -> bool:
@@ -140,9 +198,17 @@ def tensor_stats_enabled() -> bool:
 def tensor_stats() -> dict:
     """Snapshot of the accumulated counters.
 
-    ``graph_tensors``/``graph_bytes`` count every tensor created through the
-    autograd graph helper (:meth:`Tensor._make`); ``matmul_flops`` counts
-    ``2 * m * n * k`` multiply-adds per ``@`` forward pass.
+    ``graph_tensors`` counts every tensor created through the autograd graph
+    helper (:meth:`Tensor._make`) while gradients are enabled — inference
+    (``no_grad``) tensors are excluded so serving traffic does not inflate
+    training-graph stats. ``graph_bytes`` counts the *freshly allocated*
+    bytes behind those tensors (outputs served from the graph arena count as
+    ``arena_hits``/``arena_misses`` instead), ``backward_bytes`` counts
+    freshly allocated gradient storage, ``peak_bytes`` is the largest fresh
+    allocation footprint observed in a single optimizer step, ``fused_ops``
+    counts tape nodes absorbed by the graph optimizer's fusion pass, and
+    ``matmul_flops`` counts ``2 * m * n * k`` multiply-adds per ``@``
+    forward pass.
     """
     return dict(_TENSOR_STATS)
 
@@ -151,6 +217,7 @@ def reset_tensor_stats() -> None:
     """Zero all counters (the enabled flag is left as-is)."""
     for key in _TENSOR_STATS:
         _TENSOR_STATS[key] = 0
+    _STEP_BASE[0] = 0
 
 
 class no_grad:
@@ -225,10 +292,80 @@ def _segment_sum_rows(
     return summed.reshape(num_rows, cols).astype(grad.dtype, copy=False)
 
 
+def _ew_binary(ufunc, a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, bool]:
+    """Apply a binary ufunc, writing into a graph-arena buffer when active.
+
+    Returns ``(result, served)`` — ``served`` tells :meth:`Tensor._make`
+    whether the output bytes came from the arena (and therefore should not
+    count as a fresh allocation). ``ufunc(a, b, out=buf)`` computes exactly
+    the same values as ``ufunc(a, b)``, so arena service never changes bits.
+    """
+    if (
+        _GRAPH is not None
+        and _GRAD_ENABLED
+        and a.dtype == b.dtype
+        and (a.nbytes >= _ARENA_MIN or b.nbytes >= _ARENA_MIN)
+    ):
+        shape = a.shape if a.shape == b.shape else np.broadcast_shapes(a.shape, b.shape)
+        buf = _GRAPH.arena.request(shape, a.dtype)
+        if buf is not None:
+            return ufunc(a, b, out=buf), True
+    return ufunc(a, b), False
+
+
+def _ew_unary(ufunc, a: np.ndarray) -> tuple[np.ndarray, bool]:
+    """Unary counterpart of :func:`_ew_binary`."""
+    if _GRAPH is not None and _GRAD_ENABLED and a.nbytes >= _ARENA_MIN:
+        buf = _GRAPH.arena.request(a.shape, a.dtype)
+        if buf is not None:
+            return ufunc(a, out=buf), True
+    return ufunc(a), False
+
+
+def _matmul_grad(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, bool]:
+    """``a @ b`` with the result ownership flag the accumulate path expects.
+
+    The conv kernels' gradient GEMMs are deliberately *not* served from the
+    graph arena: their big-K reduction shapes take a measurably slower
+    ``np.matmul(..., out=)`` BLAS path than a fresh ``a @ b``, so recycling
+    would cost more than the allocation it saves. The constant False keeps
+    call sites uniform with :func:`_matmul_arena` and the ufunc helpers.
+    """
+    return a @ b, False
+
+
+def _matmul_arena(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, bool]:
+    """2-D ``a @ b`` into a recycled arena buffer when one is available.
+
+    Used by the dense-layer kernels, whose GEMM shapes pay no measurable
+    ``out=`` penalty (unlike the conv gradient reductions — see
+    :func:`_matmul_grad`); ``np.matmul(..., out=)`` computes the same bits
+    as ``@``.
+    """
+    if _GRAPH is not None and _GRAD_ENABLED and a.dtype == b.dtype:
+        if a.shape[0] * b.shape[1] * a.itemsize >= _ARENA_MIN:
+            buf = _GRAPH.arena.request((a.shape[0], b.shape[1]), a.dtype)
+            if buf is not None:
+                return np.matmul(a, b, out=buf), True
+    return a @ b, False
+
+
 class Tensor:
     """A numpy-backed tensor that records operations for backpropagation."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "name",
+        "_op",
+        "_users",
+        "_host",
+        "_fdepth",
+        "_pure",
+    )
 
     def __init__(
         self,
@@ -251,6 +388,17 @@ class Tensor:
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
+        # Tape IR bookkeeping, used by the graph optimizer (repro.nn.graph):
+        # the producing op's name, how many tape nodes consume this one, the
+        # (host, interior-list) pair when this node has been absorbed into a
+        # fused node, the accumulated fusion depth, and whether the node's
+        # entire backward region is covered by fused replay (pure = the
+        # backward DFS may skip its subtree).
+        self._op: str | None = None
+        self._users: int = 0
+        self._host: tuple | None = None
+        self._fdepth: int = 0
+        self._pure: bool = True
 
     # ------------------------------------------------------------------
     # Basic protocol
@@ -304,18 +452,27 @@ class Tensor:
         data: np.ndarray,
         parents: tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
+        op: str | None = None,
+        arena: bool = False,
     ) -> "Tensor":
         out = Tensor(data)
-        if _TENSOR_STATS_ENABLED:
+        out._op = op
+        if _TENSOR_STATS_ENABLED and _GRAD_ENABLED:
+            # no_grad (inference) tensors are deliberately excluded so
+            # serving traffic does not inflate training-graph stats;
+            # arena-served outputs are reuses, not fresh allocations.
             _TENSOR_STATS["graph_tensors"] += 1
-            _TENSOR_STATS["graph_bytes"] += out.data.nbytes
+            if not arena:
+                _TENSOR_STATS["graph_bytes"] += out.data.nbytes
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(p for p in parents if p.requires_grad)
             out._backward = backward
+            if _GRAPH is not None:
+                _GRAPH.absorb(out)
         return out
 
-    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+    def _accumulate(self, grad: np.ndarray, owned: bool = False, arena: bool = False) -> None:
         grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
         if self.grad is None:
             # ``owned=True`` promises the caller freshly allocated ``grad``
@@ -326,7 +483,23 @@ class Tensor:
             # only in fast-math mode: the reference path keeps the
             # copy-always tape semantics it has always had, which is also
             # what the benchmark's legacy baseline measures.
-            self.grad = grad if (owned and _FAST_MATH) else grad.copy()
+            # ``arena=True`` additionally marks ``grad`` as served from the
+            # graph arena, so it is not counted as a fresh allocation.
+            if owned and _FAST_MATH:
+                self.grad = grad
+                if _TENSOR_STATS_ENABLED and not arena:
+                    _TENSOR_STATS["backward_bytes"] += grad.nbytes
+            else:
+                buf = None
+                if _GRAPH is not None and grad.nbytes >= _ARENA_MIN:
+                    buf = _GRAPH.arena.request(grad.shape, grad.dtype)
+                if buf is not None:
+                    np.copyto(buf, grad)
+                    self.grad = buf
+                else:
+                    self.grad = grad.copy()
+                    if _TENSOR_STATS_ENABLED:
+                        _TENSOR_STATS["backward_bytes"] += grad.nbytes
         else:
             self.grad += grad
 
@@ -363,6 +536,12 @@ class Tensor:
             visited.add(id(node))
             stack.append((node, True))
             for parent in node._parents:
+                # A parent absorbed into a fused node whose whole region is
+                # replayed (pure) contains no junction that needs a slot in
+                # the global pass — skip its subtree entirely. This is where
+                # fusion shortens the tape walk.
+                if parent._host is not None and parent._pure:
+                    continue
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
@@ -383,7 +562,8 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(grad)
 
-        return Tensor._make(self.data + other.data, (self, other), backward)
+        out_data, served = _ew_binary(np.add, self.data, other.data)
+        return Tensor._make(out_data, (self, other), backward, op="add", arena=served)
 
     __radd__ = __add__
 
@@ -396,7 +576,8 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(-grad)
 
-        return Tensor._make(self.data - other.data, (self, other), backward)
+        out_data, served = _ew_binary(np.subtract, self.data, other.data)
+        return Tensor._make(out_data, (self, other), backward, op="sub", arena=served)
 
     def __rsub__(self, other: "Tensor | float") -> "Tensor":
         return as_tensor(other, dtype=self.data.dtype) - self
@@ -410,7 +591,8 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(grad * self.data)
 
-        return Tensor._make(self.data * other.data, (self, other), backward)
+        out_data, served = _ew_binary(np.multiply, self.data, other.data)
+        return Tensor._make(out_data, (self, other), backward, op="mul", arena=served)
 
     __rmul__ = __mul__
 
@@ -423,7 +605,8 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(-grad * self.data / (other.data**2))
 
-        return Tensor._make(self.data / other.data, (self, other), backward)
+        out_data, served = _ew_binary(np.divide, self.data, other.data)
+        return Tensor._make(out_data, (self, other), backward, op="div", arena=served)
 
     def __rtruediv__(self, other: "Tensor | float") -> "Tensor":
         return as_tensor(other, dtype=self.data.dtype) / self
@@ -432,7 +615,8 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
 
-        return Tensor._make(-self.data, (self,), backward)
+        out_data, served = _ew_unary(np.negative, self.data)
+        return Tensor._make(out_data, (self,), backward, op="neg", arena=served)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -441,11 +625,12 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(self.data**exponent, (self,), backward)
+        return Tensor._make(self.data**exponent, (self,), backward, op="pow")
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
         other = as_tensor(other, dtype=self.data.dtype)
-        out_data = self.data @ other.data
+        a, b = self.data, other.data
+        out_data = a @ b
         if _TENSOR_STATS_ENABLED:
             # out.size multiply-add pairs per reduction step over the
             # contracted axis: exact for 2-D, batched, and vector operands.
@@ -456,51 +641,67 @@ class Tensor:
                 if other.data.ndim == 1:
                     self._accumulate(np.outer(grad, other.data) if self.data.ndim == 2 else grad * other.data)
                 else:
-                    self._accumulate(grad @ np.swapaxes(other.data, -1, -2), owned=True)
+                    g, from_arena = _matmul_grad(grad, np.swapaxes(other.data, -1, -2))
+                    self._accumulate(g, owned=True, arena=from_arena)
             if other.requires_grad:
                 if self.data.ndim == 1:
                     other._accumulate(np.outer(self.data, grad) if other.data.ndim == 2 else self.data * grad)
                 else:
-                    other._accumulate(np.swapaxes(self.data, -1, -2) @ grad, owned=True)
+                    g, from_arena = _matmul_grad(np.swapaxes(self.data, -1, -2), grad)
+                    other._accumulate(g, owned=True, arena=from_arena)
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, op="matmul")
 
     # ------------------------------------------------------------------
     # Elementwise nonlinearities
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         """Elementwise exponential."""
-        out_data = np.exp(self.data)
+        out_data, served = _ew_unary(np.exp, self.data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="exp", arena=served)
 
     def log(self) -> "Tensor":
         """Elementwise natural logarithm."""
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / self.data)
 
-        return Tensor._make(np.log(self.data), (self,), backward)
+        out_data, served = _ew_unary(np.log, self.data)
+        return Tensor._make(out_data, (self,), backward, op="log", arena=served)
 
     def sqrt(self) -> "Tensor":
         """Elementwise square root."""
-        out_data = np.sqrt(self.data)
+        out_data, served = _ew_unary(np.sqrt, self.data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / (2.0 * out_data))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="sqrt", arena=served)
 
     def relu(self) -> "Tensor":
         """Elementwise max(0, x)."""
-        mask = self.data > 0
+        data = self.data
+        mask = None
+        buf = None
+        if _GRAPH is not None and _GRAD_ENABLED and data.nbytes >= _ARENA_MIN:
+            mbuf = _GRAPH.arena.request(data.shape, np.dtype(bool))
+            if mbuf is not None:
+                mask = np.greater(data, 0, out=mbuf)
+            buf = _GRAPH.arena.request(data.shape, data.dtype)
+        if mask is None:
+            mask = data > 0
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
 
-        return Tensor._make(self.data * mask, (self,), backward)
+        if buf is not None:
+            out_data = np.multiply(data, mask, out=buf)
+        else:
+            out_data = data * mask
+        return Tensor._make(out_data, (self,), backward, op="relu", arena=buf is not None)
 
     def sigmoid(self) -> "Tensor":
         """Elementwise logistic sigmoid."""
@@ -509,16 +710,16 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data * (1.0 - out_data))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="sigmoid")
 
     def tanh(self) -> "Tensor":
         """Elementwise hyperbolic tangent."""
-        out_data = np.tanh(self.data)
+        out_data, served = _ew_unary(np.tanh, self.data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * (1.0 - out_data**2))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="tanh", arena=served)
 
     def abs(self) -> "Tensor":
         """Elementwise absolute value."""
@@ -527,7 +728,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * sign)
 
-        return Tensor._make(np.abs(self.data), (self,), backward)
+        return Tensor._make(np.abs(self.data), (self,), backward, op="abs")
 
     # ------------------------------------------------------------------
     # Reductions
@@ -542,7 +743,7 @@ class Tensor:
                 g = np.expand_dims(g, axis=axis)
             self._accumulate(np.broadcast_to(g, self.data.shape))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="sum")
 
     def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
         """Arithmetic mean over ``axis`` (all axes when None)."""
@@ -572,11 +773,19 @@ class Tensor:
                 g = np.asarray(grad)
                 if not keepdims:
                     g = np.expand_dims(g, axis=axis)
-                full = np.zeros_like(self.data)
+                full = None
+                from_arena = False
+                if _GRAPH is not None and self.data.nbytes >= _ARENA_MIN:
+                    full = _GRAPH.arena.request(self.data.shape, self.data.dtype)
+                if full is not None:
+                    full.fill(0)
+                    from_arena = True
+                else:
+                    full = np.zeros_like(self.data)
                 np.put_along_axis(full, winners, g, axis=axis)
-                self._accumulate(full, owned=True)
+                self._accumulate(full, owned=True, arena=from_arena)
 
-            return Tensor._make(out_data, (self,), backward)
+            return Tensor._make(out_data, (self,), backward, op="max")
 
         out_data = self.data.max(axis=axis, keepdims=keepdims)
         expanded = out_data if keepdims else np.expand_dims(out_data, axis=axis)
@@ -590,7 +799,7 @@ class Tensor:
                 g = np.expand_dims(g, axis=axis)
             self._accumulate(mask * g / counts, owned=True)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="max")
 
     def min(self, axis: int, keepdims: bool = False) -> "Tensor":
         """Minimum over ``axis`` (implemented as ``-max(-x)``)."""
@@ -608,7 +817,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.reshape(original))
 
-        return Tensor._make(self.data.reshape(shape), (self,), backward)
+        return Tensor._make(self.data.reshape(shape), (self,), backward, op="reshape")
 
     def transpose(self, axes: tuple[int, ...] | None = None) -> "Tensor":
         """Permute axes (full reversal when ``axes`` is None)."""
@@ -619,7 +828,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.transpose(inverse))
 
-        return Tensor._make(self.data.transpose(axes), (self,), backward)
+        return Tensor._make(self.data.transpose(axes), (self,), backward, op="transpose")
 
     def __getitem__(self, index) -> "Tensor":
         fast_rows = (
@@ -640,7 +849,7 @@ class Tensor:
                 np.add.at(full, index, grad)
             self._accumulate(full, owned=True)
 
-        return Tensor._make(self.data[index], (self,), backward)
+        return Tensor._make(self.data[index], (self,), backward, op="getitem")
 
     def take_rows(self, indices: np.ndarray) -> "Tensor":
         """Gather rows (axis 0) — the embedding-lookup primitive."""
@@ -653,7 +862,9 @@ class Tensor:
             ).reshape(self.data.shape)
             self._accumulate(full, owned=True)
 
-        return Tensor._make(self.data[indices], (self,), backward)
+        # Gathers stay on the fancy-index path: ``np.take(..., out=)`` into a
+        # recycled buffer measured slower than a fresh ``data[indices]``.
+        return Tensor._make(self.data[indices], (self,), backward, op="take_rows")
 
     # ------------------------------------------------------------------
     # Comparisons (non-differentiable, return arrays)
@@ -695,7 +906,7 @@ def concat(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
                 tensor._accumulate(grad[tuple(slicer)])
 
     data = np.concatenate([t.data for t in tensors], axis=axis)
-    return Tensor._make(data, tuple(tensors), backward)
+    return Tensor._make(data, tuple(tensors), backward, op="concat")
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
@@ -709,4 +920,4 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
                 tensor._accumulate(piece)
 
     data = np.stack([t.data for t in tensors], axis=axis)
-    return Tensor._make(data, tuple(tensors), backward)
+    return Tensor._make(data, tuple(tensors), backward, op="stack")

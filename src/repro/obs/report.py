@@ -45,8 +45,10 @@ def summarize_run(events: list[dict]) -> dict:
     Keys: ``run`` / ``status`` / ``epochs`` (count) / ``samples`` /
     ``seconds`` / ``samples_per_sec`` / ``phases`` (per-phase totals from
     the final span summary) / ``health`` (counts by health kind) /
-    ``final`` (last epoch's metrics) / ``trials`` (evaluation results) /
-    ``checkpoints`` (written count).
+    ``final`` (last epoch's metrics) / ``alloc`` (summed per-epoch
+    allocation counters from the graph optimizer, when the run emitted
+    them) / ``trials`` (evaluation results) / ``checkpoints`` (written
+    count).
     """
     summary: dict = {
         "run": None,
@@ -59,6 +61,7 @@ def summarize_run(events: list[dict]) -> dict:
         "spans": {},
         "health": {},
         "final": {},
+        "alloc": None,
         "metrics": {},
         "trials": [],
         "experiments": [],
@@ -136,6 +139,16 @@ def summarize_run(events: list[dict]) -> dict:
                             "valid_rmse", "samples_per_sec", "rng")
                 if key in event
             }
+            alloc = event.get("alloc")
+            if isinstance(alloc, dict):
+                totals = summary["alloc"] or {}
+                for key, value in alloc.items():
+                    if key == "peak_bytes":
+                        # Running per-step high-water mark, not a delta.
+                        totals[key] = max(totals.get(key, 0), value)
+                    else:
+                        totals[key] = totals.get(key, 0) + value
+                summary["alloc"] = totals
         elif kind == "health":
             name = event.get("health_kind", "unknown")
             summary["health"][name] = summary["health"].get(name, 0) + 1
@@ -298,6 +311,14 @@ def _format_seconds(seconds: float) -> str:
     return f"{seconds:8.3f}s"
 
 
+def _format_bytes(count: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(count) < 1024 or unit == "GiB":
+            return f"{count:.1f} {unit}" if unit != "B" else f"{count:.0f} B"
+        count /= 1024
+    return f"{count:.1f} GiB"
+
+
 def render_report(events: list[dict]) -> str:
     """Render the run summary as the plain-text report the CLI prints."""
     summary = summarize_run(events)
@@ -349,6 +370,21 @@ def render_report(events: list[dict]) -> str:
         if "rng" in final:
             parts.append(f"rng {final['rng']}")
         lines.append("final metrics: " + "  ".join(parts))
+
+    if summary["alloc"]:
+        alloc = summary["alloc"]
+        hits = alloc.get("arena_hits", 0)
+        misses = alloc.get("arena_misses", 0)
+        requests = hits + misses
+        hit_rate = hits / requests if requests else 0.0
+        parts = [
+            f"peak {_format_bytes(alloc.get('peak_bytes', 0))}/step",
+            f"arena {hit_rate:.1%} hit ({hits}/{requests})",
+            f"fused {alloc.get('fused_ops', 0)} ops",
+            f"fwd {_format_bytes(alloc.get('graph_bytes', 0))}",
+            f"bwd {_format_bytes(alloc.get('backward_bytes', 0))}",
+        ]
+        lines.append("allocation: " + "  ".join(parts))
 
     if summary["trials"]:
         lines.append("")

@@ -73,6 +73,42 @@ class TestCounting:
         assert nn.tensor_stats()["graph_tensors"] >= 1
 
 
+class TestNewCounters:
+    def test_all_keys_present(self):
+        stats = nn.tensor_stats()
+        for key in ("graph_tensors", "graph_bytes", "matmul_flops",
+                    "backward_bytes", "peak_bytes", "arena_hits",
+                    "arena_misses", "fused_ops"):
+            assert key in stats
+
+    def test_no_grad_tensors_not_counted(self, stats_on):
+        a = Tensor(np.ones((8, 8)), requires_grad=True)
+        with nn.no_grad():
+            _ = (a @ a).relu()
+        stats = nn.tensor_stats()
+        assert stats["graph_tensors"] == 0
+        assert stats["graph_bytes"] == 0
+        # FLOPs still count: inference work is real work.
+        assert stats["matmul_flops"] > 0
+
+    def test_backward_bytes_counted_on_backward(self, stats_on):
+        a = Tensor(np.ones((16, 16)), requires_grad=True)
+        (a @ a).sum().backward()
+        stats = nn.tensor_stats()
+        assert stats["backward_bytes"] >= a.data.nbytes
+
+    def test_peak_bytes_set_at_step_boundary(self, stats_on):
+        lin = nn.Linear(8, 8, np.random.default_rng(0))
+        optimizer = nn.SGD(lin.parameters(), lr=0.1)
+        optimizer.zero_grad()
+        loss = lin(Tensor(np.ones((4, 8)))).sum()
+        loss.backward()
+        optimizer.step()  # marks the step boundary
+        stats = nn.tensor_stats()
+        assert stats["peak_bytes"] > 0
+        assert stats["peak_bytes"] <= stats["graph_bytes"] + stats["backward_bytes"]
+
+
 class TestTrainingUnaffected:
     def test_forward_backward_values_identical(self, stats_on):
         rng = np.random.default_rng(0)

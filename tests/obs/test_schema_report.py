@@ -154,6 +154,41 @@ class TestReport:
         assert summary["final"]["epoch"] == 2
         assert summary["metrics"]["counters"]["batches"] == 6
 
+    def write_alloc_run(self, directory):
+        with TelemetrySink(directory, run_id="alloc-test") as sink:
+            sink.emit("run_start", seed=0, epochs=2, train_interactions=100)
+            for epoch in (1, 2):
+                sink.emit(
+                    "epoch", epoch=epoch, seconds=0.5, samples=100,
+                    samples_per_sec=200.0, total=2.0 / epoch,
+                    alloc={
+                        "graph_bytes": 1024, "backward_bytes": 512,
+                        "peak_bytes": 4096 * epoch, "arena_hits": 30,
+                        "arena_misses": 10, "fused_ops": 5,
+                    },
+                )
+            sink.emit("run_end", status="completed", epochs_trained=2)
+        return directory / "run.jsonl"
+
+    def test_summarize_alloc_counters(self, tmp_path):
+        summary = summarize_run(load_run_events(self.write_alloc_run(tmp_path)))
+        alloc = summary["alloc"]
+        assert alloc["graph_bytes"] == 2048  # summed across epochs
+        assert alloc["arena_hits"] == 60
+        assert alloc["peak_bytes"] == 8192  # high-water mark, not a sum
+        assert alloc["fused_ops"] == 10
+
+    def test_render_report_allocation_line(self, tmp_path):
+        text = render_report(load_run_events(self.write_alloc_run(tmp_path)))
+        assert "allocation:" in text
+        assert "arena 75.0% hit (60/80)" in text
+        assert "fused 10 ops" in text
+        assert "peak 8.0 KiB/step" in text
+
+    def test_no_allocation_line_without_alloc_events(self, tmp_path):
+        text = render_report(load_run_events(self.write_run(tmp_path)))
+        assert "allocation:" not in text
+
     def test_render_report_mentions_key_facts(self, tmp_path):
         events = load_run_events(self.write_run(tmp_path))
         text = render_report(events)
